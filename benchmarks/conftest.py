@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact at the ``quick`` scale
+(override with ``REPRO_BENCH_SCALE=standard|full``) and prints the
+resulting table so a benchmark run doubles as an experiment report.
+Experiments are deterministic and expensive, so every benchmark runs
+exactly one round.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentOptions
+
+
+@pytest.fixture(scope="session")
+def options() -> ExperimentOptions:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return ExperimentOptions.at(scale)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,153 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+These are not paper artifacts; they probe the sensitivity of the
+reproduction to its own knobs: DPO beta, the K scoring repetitions,
+the number of reflected rationales n, the SLIC segment count, and the
+perturbation kind used by the deletion metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cot.chain import StressChainPipeline
+from repro.datasets import build_instruction_pairs, generate_disfa, generate_uvsd, train_test_split
+from repro.explainers import chain_predict_fn, deletion_metric, rationale_ranker
+from repro.training.self_refine import SelfRefineConfig
+from repro.training.trainer import train_stress_model
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    dataset = generate_uvsd(seed=11, num_samples=240, num_subjects=24)
+    train, test = train_test_split(dataset, 0.25, seed=11)
+    pairs = build_instruction_pairs(
+        generate_disfa(seed=11, num_samples=150, num_subjects=10)
+    )
+    return train, test, pairs
+
+
+def _accuracy(model, test) -> float:
+    pipeline = StressChainPipeline(model)
+    predictions = np.array([pipeline.predict(s.video).label for s in test])
+    return float((predictions == test.labels).mean())
+
+
+def _train(train, pairs, **config_overrides):
+    settings = dict(refine_sample_limit=60, num_trials=3, seed=11)
+    settings.update(config_overrides)
+    config = SelfRefineConfig(**settings)
+    model, report = train_stress_model(train, pairs, config, seed=11)
+    return model, report
+
+
+def test_ablation_dpo_beta(ablation_data, benchmark):
+    """Beta sweep around the paper's 0.1: accuracy should be stable."""
+    train, test, pairs = ablation_data
+
+    def sweep():
+        return {
+            beta: _accuracy(_train(train, pairs, beta=beta)[0], test)
+            for beta in (0.05, 0.1, 0.5)
+        }
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nbeta sweep:", {b: round(a, 3) for b, a in accuracies.items()})
+    values = list(accuracies.values())
+    assert max(values) - min(values) < 0.15
+
+
+def test_ablation_scoring_trials_k(ablation_data, benchmark):
+    """K (helpfulness/verification repeats) trades cost for signal:
+    more trials must not reduce accepted refinements to zero."""
+    train, test, pairs = ablation_data
+
+    def sweep():
+        return {
+            k: _train(train, pairs, num_trials=k)[1].num_description_pairs
+            for k in (2, 5)
+        }
+
+    pairs_found = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nK sweep (accepted description pairs):", pairs_found)
+    assert all(count >= 0 for count in pairs_found.values())
+    assert pairs_found[5] > 0
+
+
+def test_ablation_rationale_candidates_n(ablation_data, benchmark):
+    """More reflected rationales n widen the best/worst gap DPO
+    learns from: pair count must not shrink with larger n."""
+    train, __, pairs = ablation_data
+
+    def sweep():
+        return {
+            n: _train(train, pairs,
+                      num_rationale_candidates=n)[1].num_rationale_pairs
+            for n in (2, 4)
+        }
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nn sweep (rationale pairs):", counts)
+    assert counts[4] >= counts[2] - 3
+
+
+def test_ablation_slic_segments(ablation_data, benchmark):
+    """Deletion drops at 32 vs 64 segments: coarser segments remove
+    more evidence per perturbation, so drops must not shrink."""
+    train, test, pairs = ablation_data
+    model, __ = _train(train, pairs)
+    pipeline = StressChainPipeline(model)
+    samples = list(test)[:16]
+    factory = lambda s: chain_predict_fn(pipeline, s)  # noqa: E731
+
+    def sweep():
+        return {
+            num_segments: deletion_metric(
+                samples, rationale_ranker(pipeline), factory,
+                num_segments=num_segments,
+            ).drops[1]
+            for num_segments in (32, 64)
+        }
+
+    drops = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nSLIC segment-count sweep (top-1 drop):",
+          {k: round(v, 3) for k, v in drops.items()})
+    assert drops[32] >= drops[64] - 0.1
+
+
+def test_ablation_perturbation_kind(ablation_data, benchmark):
+    """Replace-mode perturbation (deletion semantics) must flip at
+    least as often as additive noise of the same scale."""
+    train, test, pairs = ablation_data
+    model, __ = _train(train, pairs)
+    pipeline = StressChainPipeline(model)
+    samples = list(test)[:16]
+    factory = lambda s: chain_predict_fn(pipeline, s)  # noqa: E731
+
+    import repro.explainers.evaluation as evaluation_module
+    import repro.video.perturb as perturb_module
+
+    def run_mode(mode):
+        original = perturb_module.gaussian_perturb_segments
+
+        def patched(frame, labels, segment_ids, rng, noise_scale=0.35,
+                    mode_override=mode):
+            return original(frame, labels, segment_ids, rng,
+                            noise_scale=noise_scale, mode=mode_override)
+
+        evaluation_module.gaussian_perturb_segments = patched
+        try:
+            return deletion_metric(
+                samples, rationale_ranker(pipeline), factory
+            ).drops[3]
+        finally:
+            evaluation_module.gaussian_perturb_segments = original
+
+    def sweep():
+        return {mode: run_mode(mode) for mode in ("replace", "additive")}
+
+    drops = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nperturbation-kind sweep (top-3 drop):",
+          {k: round(v, 3) for k, v in drops.items()})
+    assert drops["replace"] >= drops["additive"] - 0.05

@@ -1,0 +1,75 @@
+"""Ablation bench: ANN indexes for large in-context example pools.
+
+The paper's closing remark motivates efficient retrieval over large
+example resources; this bench measures the recall/speed trade-off of
+the LSH and IVF-Flat indexes against brute force on a realistic
+description-embedding pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.retrieval.encoders import DescriptionEncoder
+from repro.retrieval.index import (
+    ExactIndex,
+    IVFFlatIndex,
+    LSHIndex,
+    recall_at_k,
+)
+from repro.facs.action_units import AU_IDS
+from repro.facs.descriptions import FacialDescription
+from repro.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def embedding_pool():
+    """Description embeddings for a large synthetic example pool."""
+    encoder = DescriptionEncoder()
+    rng = make_rng(0, "index-bench")
+    texts = []
+    for _ in range(3000):
+        active = tuple(
+            au for au in AU_IDS if rng.random() < 0.3
+        )
+        texts.append(FacialDescription(active).render())
+    vectors = np.stack([encoder.encode(text) for text in texts])
+    queries = vectors[rng.choice(len(vectors), size=50, replace=False)]
+    queries = queries + rng.normal(0, 0.05, queries.shape)
+    return vectors, queries
+
+
+def test_ablation_ann_index_tradeoff(embedding_pool, benchmark):
+    vectors, queries = embedding_pool
+    exact = ExactIndex(vectors)
+
+    def build_and_measure():
+        results = {}
+        for name, index in (
+            ("lsh", LSHIndex(vectors, num_tables=8, num_bits=10, seed=1)),
+            ("ivf", IVFFlatIndex(vectors, num_cells=48, nprobe=3, seed=1)),
+        ):
+            start = time.perf_counter()
+            for query in queries:
+                index.search(query, k=3)
+            elapsed_index = time.perf_counter() - start
+            start = time.perf_counter()
+            for query in queries:
+                exact.search(query, k=3)
+            elapsed_exact = time.perf_counter() - start
+            results[name] = {
+                "recall@3": recall_at_k(index, exact, queries, k=3),
+                "speedup": elapsed_exact / max(elapsed_index, 1e-9),
+            }
+        return results
+
+    results = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    print("\nANN index trade-off (3000-example pool):")
+    for name, stats in results.items():
+        print(f"  {name}: recall@3 {stats['recall@3']:.2f}, "
+              f"{stats['speedup']:.1f}x faster than brute force")
+    for stats in results.values():
+        assert stats["recall@3"] >= 0.7

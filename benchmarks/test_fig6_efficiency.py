@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (explanation efficiency)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_efficiency(options, run_once):
+    result = run_once(run_experiment, "fig6", options)
+    print("\n" + result.text)
+    timing = result.data
+    # The paper's headline: the chain explains itself orders of
+    # magnitude faster than every post-hoc explainer.
+    for name in ("LIME", "SHAP", "SOBOL"):
+        assert timing.speedup_over("Ours", name) > 10.0, (
+            f"{name} should be >10x slower than the chain"
+        )
+    # Post-hoc explainers pay their evaluation budgets in model calls.
+    assert timing.evaluations_per_sample["Ours"] == 1.0
+    for name in ("LIME", "SHAP", "SOBOL"):
+        assert timing.evaluations_per_sample[name] > 50

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (encoder separation)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_similarity(options, run_once):
+    result = run_once(run_experiment, "fig7", options)
+    print("\n" + result.text)
+    # Paper claim: description embeddings separate helpful from
+    # unhelpful examples better than vision embeddings.
+    assert result.data["description_gap"] >= result.data["vision_gap"] - 0.01

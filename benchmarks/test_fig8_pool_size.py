@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (retrieval-pool size sweep)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_pool_size(options, run_once):
+    result = run_once(run_experiment, "fig8", options)
+    print("\n" + result.text)
+    series = result.data["series"]
+    # Paper shape: similarity-based retrieval benefits from a larger
+    # pool -- the largest pool is at least as good as the smallest
+    # (tolerance = the CV noise floor at reduced scales).
+    for name in ("Retrieve-by-vision", "Retrieve-by-description"):
+        assert series[name][-1] >= series[name][0] - 0.03
+    # And description retrieval ends at/above random retrieval.
+    assert series["Retrieve-by-description"][-1] >= \
+        series["Random"][-1] - 0.03

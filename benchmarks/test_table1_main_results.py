@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table I (main stress-detection results)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1_main_results(options, run_once):
+    result = run_once(run_experiment, "table1", options)
+    print("\n" + result.text)
+    # Shape assertions from the paper: ours leads both datasets, and
+    # the strongest baseline (Ding et al.) leads the other baselines.
+    for dataset in ("uvsd", "rsl"):
+        rows = result.data[dataset]
+        ours = rows["Ours"]["Acc."]
+        for method, row in rows.items():
+            if method != "Ours":
+                assert ours >= row["Acc."] - 0.02, (
+                    f"{method} ({row['Acc.']:.3f}) beats ours "
+                    f"({ours:.3f}) on {dataset}"
+                )
+        supervised = {k: v for k, v in rows.items()
+                      if k not in ("GPT-4o", "Claude-3.5", "Gemini-1.5",
+                                   "Ours")}
+        best_supervised = max(supervised, key=lambda k: supervised[k]["Acc."])
+        assert supervised["Ding et al."]["Acc."] >= \
+            supervised[best_supervised]["Acc."] - 0.05
+    # Cross-dataset difficulty: every method scores lower on RSL.
+    assert result.data["rsl"]["Ours"]["Acc."] < \
+        result.data["uvsd"]["Ours"]["Acc."]

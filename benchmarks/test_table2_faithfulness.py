@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table II (deletion-metric faithfulness)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_faithfulness(options, run_once):
+    result = run_once(run_experiment, "table2", options)
+    print("\n" + result.text)
+    for dataset in ("uvsd", "rsl"):
+        rows = result.data[dataset]
+        # Our rationale's top-1 drop is competitive with the best
+        # post-hoc explainer (the paper's headline finding).  The
+        # tolerance covers the reduced-scale quantisation: quick-scale
+        # evaluation subsets move in ~4 pp/clip steps and LIME
+        # optimizes directly against the deletion operator (see
+        # EXPERIMENTS.md, Table II notes).
+        best_posthoc_top1 = max(
+            rows[name]["Top-1"] for name in ("SHAP", "LIME", "SOBOL")
+        )
+        assert rows["Ours"]["Top-1"] >= best_posthoc_top1 - 0.20
+        # Drops grow (roughly) with k for our method.
+        assert rows["Ours"]["Top-3"] >= rows["Ours"]["Top-1"] - 0.05

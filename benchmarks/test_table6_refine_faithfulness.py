@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table VI (self-refine ablation, faithfulness)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table6_refine_faithfulness(options, run_once):
+    result = run_once(run_experiment, "table6", options)
+    print("\n" + result.text)
+    for dataset in ("uvsd", "rsl"):
+        rows = result.data[dataset]
+        assert rows["Ours"]["Top-1"] >= rows["w/o Refine"]["Top-1"] - 0.1

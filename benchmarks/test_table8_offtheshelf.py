@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table VIII (test-time refinement of LFMs)."""
+
+from repro.experiments import run_experiment
+
+_VENDORS = ("GPT-4o", "Claude-3.5", "Gemini-1.5")
+
+
+def test_table8_offtheshelf(options, run_once):
+    result = run_once(run_experiment, "table8", options)
+    print("\n" + result.text)
+    improved = 0
+    for dataset in ("uvsd", "rsl"):
+        rows = result.data[dataset]
+        for vendor in _VENDORS:
+            original = rows[f"{vendor} Original"]["Acc."]
+            refined = rows[f"{vendor} New"]["Acc."]
+            improved += int(refined >= original - 0.005)
+    # Paper shape: chain + test-time self-refinement lifts every
+    # vendor; allow one regression (plus sub-clip float jitter) at
+    # reduced benchmark scales.
+    assert improved >= 5, f"only {improved}/6 vendor runs improved"

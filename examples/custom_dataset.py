@@ -1,0 +1,76 @@
+"""Bring your own stress corpus: build a custom synthetic dataset and
+benchmark the method against classic baselines on it.
+
+Shows the dataset-construction API: a :class:`SynthesisConfig` with
+your own difficulty profile (here: a call-center quality-assurance
+setting -- moderate coupling, heavy occlusion from headsets), then a
+subject-aware cross-validated comparison of our method against two
+baselines.
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+from repro import build_instruction_pairs, generate_disfa
+from repro.baselines import make_baseline
+from repro.datasets.base import StressDataset
+from repro.datasets.synth import (
+    SynthesisConfig,
+    records_to_samples,
+    synthesize_dataset,
+)
+from repro.evaluation import evaluate_baseline, evaluate_ours
+from repro.facs.stress_priors import default_stress_prior
+from repro.metrics.reporting import format_table
+from repro.training.self_refine import SelfRefineConfig
+
+
+def build_callcenter_dataset(seed: int = 0) -> StressDataset:
+    """A custom corpus: 360 clips of 30 agents, headset occlusions."""
+    config = SynthesisConfig(
+        name="callcenter",
+        num_samples=360,
+        num_subjects=30,
+        num_stressed=150,
+        prior=default_stress_prior(coupling=2.1),
+        label_noise=0.05,
+        noise_scale=0.04,
+        occlusion_rate=0.25,   # headsets and hands in frame
+        lighting_scale=0.08,
+    )
+    return StressDataset(
+        "callcenter",
+        tuple(records_to_samples(synthesize_dataset(config, seed))),
+    )
+
+
+def main() -> None:
+    print("Building the custom call-center corpus ...")
+    dataset = build_callcenter_dataset(seed=21)
+    unstressed, stressed = dataset.class_counts()
+    print(f"  {len(dataset)} clips, {len(dataset.subjects())} agents, "
+          f"{stressed} stressed / {unstressed} calm")
+
+    pairs = build_instruction_pairs(
+        generate_disfa(seed=21, num_samples=250, num_subjects=12)
+    )
+    folds = 3
+
+    print(f"\nRunning {folds}-fold subject-aware cross-validation ...")
+    rows = {}
+    for key in ("tsdnet", "marlin"):
+        metrics = evaluate_baseline(key, dataset, num_folds=folds, seed=21)
+        rows[make_baseline(key).name] = metrics.as_row()
+    ours = evaluate_ours(
+        dataset, pairs, "ours", num_folds=folds, seed=21,
+        config=SelfRefineConfig(refine_sample_limit=120, seed=21),
+    )
+    rows["Ours"] = ours.as_row()
+    print()
+    print(format_table("Call-center stress detection",
+                       ("Acc.", "Prec.", "Rec.", "F1."), rows))
+
+
+if __name__ == "__main__":
+    main()

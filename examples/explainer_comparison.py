@@ -1,0 +1,80 @@
+"""Rationale vs post-hoc explainers on the same decisions.
+
+Reproduces the paper's interpretability story in miniature: LIME,
+KernelSHAP and SOBOL each spend hundreds of black-box model calls per
+clip; the chain's own rationale comes free with the prediction.  Both
+are judged by the same deletion metric (disturb top-k segments,
+measure the accuracy drop).
+
+    python examples/explainer_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SelfRefineConfig,
+    StressChainPipeline,
+    build_instruction_pairs,
+    generate_disfa,
+    generate_uvsd,
+    train_stress_model,
+    train_test_split,
+)
+from repro.explainers import (
+    KernelShapExplainer,
+    LimeExplainer,
+    SobolExplainer,
+    chain_predict_fn,
+    deletion_metric,
+    explainer_ranker,
+    rationale_ranker,
+    time_explainers,
+)
+
+
+def main() -> None:
+    print("Training the stress model ...")
+    dataset = generate_uvsd(seed=9, num_samples=400, num_subjects=40)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=9)
+    pairs = build_instruction_pairs(
+        generate_disfa(seed=9, num_samples=300, num_subjects=15)
+    )
+    model, __ = train_stress_model(
+        train, pairs, SelfRefineConfig(refine_sample_limit=150, seed=9),
+        seed=9,
+    )
+    pipeline = StressChainPipeline(model)
+    samples = list(test)[:30]
+    factory = lambda s: chain_predict_fn(pipeline, s)  # noqa: E731
+
+    explainers = [
+        LimeExplainer(num_samples=400),
+        KernelShapExplainer(num_samples=400),
+        SobolExplainer(num_designs=8),
+    ]
+
+    print(f"\nDeletion-metric faithfulness over {len(samples)} clips")
+    print(f"{'method':8s}  {'Top-1':>7s}  {'Top-2':>7s}  {'Top-3':>7s}")
+    result = deletion_metric(samples, rationale_ranker(pipeline), factory)
+    print(f"{'Ours':8s}  " + "  ".join(
+        f"{result.drops[k] * 100:6.2f}%" for k in (1, 2, 3)
+    ))
+    for explainer in explainers:
+        result = deletion_metric(samples, explainer_ranker(explainer),
+                                 factory)
+        print(f"{explainer.name:8s}  " + "  ".join(
+            f"{result.drops[k] * 100:6.2f}%" for k in (1, 2, 3)
+        ))
+
+    print("\nPer-sample explanation cost")
+    timing = time_explainers(pipeline, explainers, samples[:8])
+    for name, seconds in sorted(timing.seconds_per_sample.items(),
+                                key=lambda kv: kv[1]):
+        print(f"  {name:8s}  {seconds * 1000:9.2f} ms  "
+              f"({timing.evaluations_per_sample[name]:.0f} model calls)")
+    print(f"\nOurs is {timing.speedup_over('Ours', 'SOBOL'):.0f}x faster "
+          f"than the fastest post-hoc explainer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: train the self-refine chain model and inspect one prediction.
+
+Runs in ~1 minute on a laptop: generates a small synthetic UVSD split,
+instruction-tunes on DISFA+ descriptions, runs Algorithm 1, and prints
+a full reasoning-chain transcript (description, assessment, rationale)
+for a held-out clip.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SelfRefineConfig,
+    StressChainPipeline,
+    build_instruction_pairs,
+    evaluate_predictions,
+    generate_disfa,
+    generate_uvsd,
+    train_stress_model,
+    train_test_split,
+)
+
+
+def main() -> None:
+    print("Generating synthetic UVSD (video stress detection) data ...")
+    dataset = generate_uvsd(seed=0, num_samples=400, num_subjects=40)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+    print(f"  {len(train)} training clips, {len(test)} held-out clips")
+
+    print("Building DISFA+ instruction pairs for the Describe step ...")
+    pairs = build_instruction_pairs(
+        generate_disfa(seed=0, num_samples=300, num_subjects=15)
+    )
+
+    print("Training with self-refine chain reasoning (Algorithm 1) ...")
+    config = SelfRefineConfig(refine_sample_limit=120, seed=0)
+    model, report = train_stress_model(train, pairs, config, seed=0)
+    print(f"  instruction-tuning loss: {report.describe_curve[0]:.3f} -> "
+          f"{report.describe_curve[-1]:.3f}")
+    print(f"  accepted description refinements: "
+          f"{report.num_description_pairs}")
+    print(f"  rationale preference pairs: {report.num_rationale_pairs}")
+
+    print("\nEvaluating on the held-out split ...")
+    pipeline = StressChainPipeline(model)
+    predictions = np.array([pipeline.predict(s.video).label for s in test])
+    metrics = evaluate_predictions(test.labels, predictions)
+    print(f"  {metrics}")
+
+    sample = test[0]
+    result = pipeline.predict(sample.video)
+    truth = "Stressed" if sample.label else "Unstressed"
+    print(f"\nOne reasoning chain (truth: {truth}, "
+          f"p_stressed={result.prob_stressed:.2f}):")
+    print("-" * 60)
+    print(result.session.transcript())
+    print("-" * 60)
+    print("Rationale:", result.rationale.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Supervised stress-detection baselines (paper Table I).
+
+Each baseline is a faithful lightweight re-implementation on the shared
+synthetic substrate, keeping the *information bottleneck* that defines
+the original method -- which is what orders them in Table I:
+
+- :class:`~repro.baselines.fdassnn.FDASSNN` -- AAM-style per-region AU
+  intensities into an MLP (Gavrilescu & Vizireanu 2019);
+- :class:`~repro.baselines.gao.GaoSVM` -- per-frame landmark geometry
+  into a linear classifier, negative-frame-ratio rule (Gao et al. 2014);
+- :class:`~repro.baselines.zhang.ZhangCNN` -- per-frame emotion
+  polarity with the two-thirds rule (Zhang et al. 2019);
+- :class:`~repro.baselines.jeon.JeonSpatioTemporal` -- frame + landmark
+  features with temporal attention (Jeon et al. 2021);
+- :class:`~repro.baselines.tsdnet.TSDNet` -- two-stream face/action
+  network with attention fusion (Zhang et al. 2020);
+- :class:`~repro.baselines.marlin.Marlin` -- masked-autoencoder
+  pre-training then a linear probe (Cai et al. 2023);
+- :class:`~repro.baselines.singh.SinghResNet` -- generic deep features
+  from surveillance-style frames (Singh et al. 2022);
+- :class:`~repro.baselines.ding.DingKnowledge` -- off-the-shelf LFM
+  facial-action descriptions fused with vision (Ding et al. 2024),
+  the strongest baseline.
+"""
+
+from repro.baselines.base import SupervisedBaseline
+from repro.baselines.ding import DingKnowledge
+from repro.baselines.fdassnn import FDASSNN
+from repro.baselines.gao import GaoSVM
+from repro.baselines.jeon import JeonSpatioTemporal
+from repro.baselines.marlin import Marlin
+from repro.baselines.singh import SinghResNet
+from repro.baselines.tsdnet import TSDNet
+from repro.baselines.zhang import ZhangCNN
+from repro.baselines.zoo import baseline_zoo, make_baseline
+
+__all__ = [
+    "DingKnowledge",
+    "FDASSNN",
+    "GaoSVM",
+    "JeonSpatioTemporal",
+    "Marlin",
+    "SinghResNet",
+    "SupervisedBaseline",
+    "TSDNet",
+    "ZhangCNN",
+    "baseline_zoo",
+    "make_baseline",
+]

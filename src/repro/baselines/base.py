@@ -1,0 +1,83 @@
+"""Baseline interface and shared fitting utilities."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.datasets.base import StressDataset
+from repro.errors import ModelError
+from repro.nn.layers import Module
+from repro.nn.optim import Adam
+from repro.nn.tensorops import binary_cross_entropy_with_logits, sigmoid
+from repro.video.frame import Video
+
+
+class SupervisedBaseline(ABC):
+    """A trainable stress detector with the classic fit/predict API."""
+
+    #: Human-readable method name (the Table I row label).
+    name: str = "baseline"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, train_data: StressDataset, seed: int = 0) -> None:
+        """Train on a labelled dataset."""
+
+    @abstractmethod
+    def predict_proba(self, video: Video) -> float:
+        """Probability that the subject is stressed."""
+
+    def predict(self, video: Video) -> int:
+        """Hard stress label (1 = stressed)."""
+        return int(self.predict_proba(video) > 0.5)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelError(
+                f"{self.name} must be fitted before prediction"
+            )
+
+
+def fit_logistic(
+    module: Module,
+    forward,
+    backward,
+    features: np.ndarray,
+    labels: np.ndarray,
+    epochs: int,
+    lr: float,
+    weight_decay: float = 0.0,
+    feature_noise: float = 0.0,
+    seed: int = 0,
+) -> None:
+    """Generic BCE fitting loop shared by the baselines.
+
+    ``forward(features) -> logits (N,)`` and ``backward(grad (N,))``
+    must wrap the module's own passes.  ``feature_noise`` adds
+    Gaussian input augmentation (redrawn per epoch), the cheap
+    regularizer against subject overfitting.
+    """
+    from repro.rng import make_rng
+
+    optimizer = Adam(module.parameters(), lr=lr, weight_decay=weight_decay)
+    labels = np.asarray(labels, dtype=np.float64)
+    noise_rng = make_rng(seed, "fit-logistic-noise")
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        inputs = features
+        if feature_noise > 0:
+            inputs = features + noise_rng.normal(0.0, feature_noise,
+                                                 features.shape)
+        logits = forward(inputs)
+        __, grad = binary_cross_entropy_with_logits(logits, labels)
+        backward(grad)
+        optimizer.step()
+
+
+def probability(logit: float) -> float:
+    """Scalar logistic probability."""
+    return float(sigmoid(np.array(logit))[()])

@@ -1,0 +1,53 @@
+"""FDASSNN (Gavrilescu & Vizireanu, 2019).
+
+The original detects per-AU intensities with an Active Appearance
+Model, then maps intensity vectors to stress with a small MLP.  The
+re-implementation keeps that bottleneck: coarse per-region activation
+intensities (AAM-grade, conflating AUs that share a region) feed an
+MLP -- no access to raw pixels or temporal structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SupervisedBaseline, fit_logistic, probability
+from repro.baselines.features import region_intensity_features
+from repro.datasets.base import StressDataset
+from repro.nn.layers import MLP
+from repro.rng import make_rng
+from repro.video.frame import Video
+
+
+class FDASSNN(SupervisedBaseline):
+    """Per-region AU intensity features into an MLP."""
+
+    name = "FDASSNN"
+
+    def __init__(self, hidden_dim: int = 16, epochs: int = 300,
+                 lr: float = 5e-3):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+        self._mlp: MLP | None = None
+
+    def fit(self, train_data: StressDataset, seed: int = 0) -> None:
+        features = np.stack([
+            region_intensity_features(sample.video) for sample in train_data
+        ])
+        labels = train_data.labels.astype(np.float64)
+        self._mlp = MLP([features.shape[1], self.hidden_dim, 1],
+                        make_rng(seed, "fdassnn"), name="fdassnn")
+        fit_logistic(
+            self._mlp,
+            lambda x: self._mlp.forward(x)[:, 0],
+            lambda g: self._mlp.backward(g[:, np.newaxis]),
+            features, labels, self.epochs, self.lr,
+        )
+        self._fitted = True
+
+    def predict_proba(self, video: Video) -> float:
+        self._check_fitted()
+        features = region_intensity_features(video)[np.newaxis, :]
+        return probability(float(self._mlp.forward(features)[0, 0]))

@@ -1,0 +1,116 @@
+"""TSDNET (Zhang et al., Sensors 2020): two-stream detection network.
+
+The original fuses a *face-level* stream (most/least expressive
+keyframe pair) with an *action-level* stream (body/temporal dynamics)
+through a stream-weighted integrator with attention.  The
+re-implementation keeps the two streams -- keyframe-pair appearance
+features and temporal AU-motion statistics -- each with its own
+encoder, fused by a learned stream gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SupervisedBaseline, probability
+from repro.baselines.features import keyframe_pair_features, per_frame_features
+from repro.datasets.base import StressDataset
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam
+from repro.nn.tensorops import binary_cross_entropy_with_logits, sigmoid
+from repro.rng import make_rng
+from repro.video.frame import Video
+
+
+class TSDNet(SupervisedBaseline):
+    """Two-stream (face + action) network with gated fusion."""
+
+    name = "TSDNet"
+
+    def __init__(self, embed_dim: int = 24, epochs: int = 300,
+                 lr: float = 5e-3):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.epochs = epochs
+        self.lr = lr
+        self._face: Linear | None = None
+        self._action: Linear | None = None
+        self._face_head: Linear | None = None
+        self._action_head: Linear | None = None
+        self._gate: Linear | None = None
+
+    @staticmethod
+    def _action_features(video: Video) -> np.ndarray:
+        """Temporal motion statistics: mean absolute frame-to-frame
+        change and temporal std of each patch."""
+        frames = per_frame_features(video)
+        motion = np.abs(np.diff(frames, axis=0)).mean(axis=0)
+        spread = frames.std(axis=0)
+        return np.concatenate([motion, spread])
+
+    def fit(self, train_data: StressDataset, seed: int = 0) -> None:
+        rng = make_rng(seed, "tsdnet")
+        face = np.stack([
+            keyframe_pair_features(sample.video) for sample in train_data
+        ])
+        action = np.stack([
+            self._action_features(sample.video) for sample in train_data
+        ])
+        labels = train_data.labels.astype(np.float64)
+        self._face = Linear(face.shape[1], self.embed_dim, rng, "tsd.face")
+        self._action = Linear(action.shape[1], self.embed_dim, rng,
+                              "tsd.action")
+        self._face_head = Linear(self.embed_dim, 1, rng, "tsd.fhead")
+        self._action_head = Linear(self.embed_dim, 1, rng, "tsd.ahead")
+        self._gate = Linear(2 * self.embed_dim, 1, rng, "tsd.gate")
+        params = (self._face.parameters() + self._action.parameters()
+                  + self._face_head.parameters()
+                  + self._action_head.parameters() + self._gate.parameters())
+        optimizer = Adam(params, lr=self.lr, weight_decay=1e-4)
+        count = len(labels)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            face_embed = self._face.forward(face)
+            action_embed = self._action.forward(action)
+            face_logit = self._face_head.forward(face_embed)[:, 0]
+            action_logit = self._action_head.forward(action_embed)[:, 0]
+            gate_logit = self._gate.forward(
+                np.concatenate([face_embed, action_embed], axis=1)
+            )[:, 0]
+            gate = sigmoid(gate_logit)
+            logits = gate * face_logit + (1.0 - gate) * action_logit
+            __, grad = binary_cross_entropy_with_logits(logits, labels)
+            # Backward through the gated mixture.
+            grad_face_logit = grad * gate
+            grad_action_logit = grad * (1.0 - gate)
+            grad_gate = (grad * (face_logit - action_logit)
+                         * gate * (1.0 - gate))
+            grad_fe = self._face_head.backward(grad_face_logit[:, np.newaxis])
+            grad_ae = self._action_head.backward(
+                grad_action_logit[:, np.newaxis]
+            )
+            grad_cat = self._gate.backward(grad_gate[:, np.newaxis])
+            grad_fe = grad_fe + grad_cat[:, : self.embed_dim]
+            grad_ae = grad_ae + grad_cat[:, self.embed_dim:]
+            self._face.backward(grad_fe)
+            self._action.backward(grad_ae)
+            optimizer.step()
+        self._fitted = True
+
+    def _logit(self, video: Video) -> float:
+        face_embed = self._face.forward(
+            keyframe_pair_features(video)[np.newaxis, :]
+        )
+        action_embed = self._action.forward(
+            self._action_features(video)[np.newaxis, :]
+        )
+        face_logit = float(self._face_head.forward(face_embed)[0, 0])
+        action_logit = float(self._action_head.forward(action_embed)[0, 0])
+        gate = float(sigmoid(self._gate.forward(
+            np.concatenate([face_embed, action_embed], axis=1)
+        )[:, 0])[0])
+        return gate * face_logit + (1.0 - gate) * action_logit
+
+    def predict_proba(self, video: Video) -> float:
+        self._check_fitted()
+        return probability(self._logit(video))

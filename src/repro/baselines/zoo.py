@@ -1,0 +1,43 @@
+"""Baseline registry."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.base import SupervisedBaseline
+from repro.baselines.ding import DingKnowledge
+from repro.baselines.fdassnn import FDASSNN
+from repro.baselines.gao import GaoSVM
+from repro.baselines.jeon import JeonSpatioTemporal
+from repro.baselines.marlin import Marlin
+from repro.baselines.singh import SinghResNet
+from repro.baselines.tsdnet import TSDNet
+from repro.baselines.zhang import ZhangCNN
+from repro.errors import ModelError
+
+_ZOO: dict[str, Callable[[], SupervisedBaseline]] = {
+    "fdassnn": FDASSNN,
+    "gao": GaoSVM,
+    "zhang": ZhangCNN,
+    "jeon": JeonSpatioTemporal,
+    "tsdnet": TSDNet,
+    "marlin": Marlin,
+    "singh": SinghResNet,
+    "ding": DingKnowledge,
+}
+
+
+def baseline_zoo() -> tuple[str, ...]:
+    """Keys of all registered baselines, in Table I order."""
+    return tuple(_ZOO)
+
+
+def make_baseline(key: str) -> SupervisedBaseline:
+    """Instantiate a fresh baseline by registry key."""
+    try:
+        factory = _ZOO[key]
+    except KeyError:
+        raise ModelError(
+            f"unknown baseline {key!r}; known: {sorted(_ZOO)}"
+        ) from None
+    return factory()

@@ -1,0 +1,21 @@
+"""Chain-of-Thought inference runtime.
+
+:class:`~repro.cot.chain.StressChainPipeline` executes the paper's
+Describe -> Assess -> Highlight chain over a trained (or off-the-shelf)
+foundation model, optionally with in-context examples
+(:mod:`~repro.cot.incontext`) and test-time self-refinement (the
+Table VIII protocol).  :mod:`~repro.cot.rationale` grounds highlighted
+facial actions to frame segments for the interpretability evaluation.
+"""
+
+from repro.cot.chain import ChainResult, StressChainPipeline
+from repro.cot.incontext import InContextExample, incontext_logit_shift
+from repro.cot.rationale import Rationale
+
+__all__ = [
+    "ChainResult",
+    "InContextExample",
+    "Rationale",
+    "StressChainPipeline",
+    "incontext_logit_shift",
+]

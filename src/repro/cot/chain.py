@@ -1,0 +1,196 @@
+"""The Describe -> Assess -> Highlight inference pipeline.
+
+:class:`StressChainPipeline` is the deployment-time entry point of the
+library: it runs the paper's reasoning chain over a foundation model,
+producing a stress prediction *and* its rationale in a single forward
+chain (which is what makes Figure 6's efficiency comparison possible).
+Options cover every inference protocol in the evaluation:
+
+- ``use_chain=False`` -- the "w/o Chain" direct query;
+- ``retriever`` -- in-context example retrieval (Table VII);
+- ``test_time_refine=True`` -- refinement without weight updates, the
+  protocol applied to frozen off-the-shelf models in Table VIII.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cot.incontext import incontext_logit_shift
+from repro.cot.rationale import Rationale
+from repro.errors import ModelError
+from repro.facs.descriptions import FacialDescription
+from repro.model.foundation import STRESSED, UNSTRESSED, FoundationModel
+from repro.model.generation import GenerationConfig
+from repro.model.session import DialogueSession
+from repro.nn.tensorops import sigmoid
+from repro.rng import derive_seed
+from repro.training.verification import verification_score
+from repro.video.frame import Video
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Everything one chain run produces."""
+
+    description: FacialDescription | None
+    label: int
+    prob_stressed: float
+    rationale: Rationale
+    session: DialogueSession
+    elapsed_seconds: float
+
+    @property
+    def is_stressed(self) -> bool:
+        return self.label == STRESSED
+
+
+class StressChainPipeline:
+    """Runs the reasoning chain for one model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`FoundationModel` (or frozen off-the-shelf
+        proxy).
+    use_chain:
+        ``False`` reproduces the "w/o Chain" ablation: a direct
+        stress query with no description conditioning (a rationale is
+        still produced afterwards via I3, as in Table IV's protocol).
+    retriever:
+        Optional in-context retriever (see :mod:`repro.retrieval`).
+    test_time_refine:
+        Apply the Table VIII test-time self-refinement: reflect on the
+        description and keep candidates that verify at least as
+        faithfully, without any weight update.  Requires
+        ``verification_pool``.
+    verification_pool:
+        Videos used to draw verification negatives from.
+    seed:
+        Scopes all sampling inside the pipeline.
+    """
+
+    def __init__(
+        self,
+        model: FoundationModel,
+        use_chain: bool = True,
+        retriever=None,
+        test_time_refine: bool = False,
+        verification_pool: list[Video] | None = None,
+        refine_rounds: int = 2,
+        num_verify_trials: int = 3,
+        seed: int = 0,
+    ):
+        if test_time_refine and not verification_pool:
+            raise ModelError(
+                "test_time_refine needs a verification_pool of videos"
+            )
+        self.model = model
+        self.use_chain = use_chain
+        self.retriever = retriever
+        self.test_time_refine = test_time_refine
+        self.verification_pool = verification_pool or []
+        self.refine_rounds = refine_rounds
+        self.num_verify_trials = num_verify_trials
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def predict(self, video: Video) -> ChainResult:
+        """Run the chain on one video."""
+        start = time.perf_counter()
+        session = DialogueSession()
+
+        description: FacialDescription | None = None
+        if self.use_chain:
+            description = self.model.describe(
+                video, GenerationConfig(temperature=0.0), session=session
+            )
+            if self.test_time_refine:
+                description = self._refine_description(video, description)
+
+        logit = self.model.assess_logit(video, description)
+        if self.retriever is not None and description is not None:
+            examples = self.retriever.retrieve(video, description)
+            shift = incontext_logit_shift(description, examples)
+            # In-context evidence sways the model where it is unsure;
+            # a confident assessment barely moves (the gating mirrors
+            # how prompt examples influence a real LFM's decision).
+            confidence = abs(2.0 * float(sigmoid(np.array(logit))[()]) - 1.0)
+            logit += shift * (1.0 - confidence)
+        prob = float(sigmoid(np.array(logit))[()])
+        label = STRESSED if logit > 0 else UNSTRESSED
+        session.record(
+            _assess_instruction(self.use_chain),
+            "Stressed" if label == STRESSED else "Unstressed",
+        )
+
+        highlight_desc = description
+        if highlight_desc is None:
+            # w/o Chain still answers I3; it reads its greedy AU
+            # estimate off the video when asked to point at cues.
+            highlight_desc = self.model.describe(
+                video, GenerationConfig(temperature=0.0)
+            )
+        rationale = Rationale(self.model.highlight(
+            video, highlight_desc, label,
+            GenerationConfig(temperature=0.0), session=session,
+        ))
+
+        elapsed = time.perf_counter() - start
+        return ChainResult(
+            description=description,
+            label=label,
+            prob_stressed=prob,
+            rationale=rationale,
+            session=session,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _refine_description(self, video: Video,
+                            description: FacialDescription) -> FacialDescription:
+        """Test-time self-refinement (Table VIII): keep reflected
+        candidates that verify at least as faithfully; no labels, no
+        weight updates."""
+        current = description
+        current_score = self._verify(video, current, round_index=-1)
+        for round_index in range(self.refine_rounds):
+            candidate = self.model.reflect_description(
+                video, current,
+                GenerationConfig(
+                    temperature=1.0,
+                    seed=derive_seed(self.seed,
+                                     f"ttr:{video.video_id}:{round_index}"),
+                ),
+                true_label=None,
+            )
+            if candidate == current:
+                break
+            candidate_score = self._verify(video, candidate, round_index)
+            if candidate_score >= current_score:
+                current, current_score = candidate, candidate_score
+            else:
+                break
+        return current
+
+    def _verify(self, video: Video, description: FacialDescription,
+                round_index: int) -> float:
+        return verification_score(
+            self.model, video, description, self.verification_pool,
+            num_trials=self.num_verify_trials,
+            seed=derive_seed(self.seed, f"ttv:{video.video_id}:{round_index}"),
+        )
+
+
+def _assess_instruction(use_chain: bool):
+    from repro.model.instructions import (
+        ASSESS_INSTRUCTION,
+        DIRECT_ASSESS_INSTRUCTION,
+    )
+
+    return ASSESS_INSTRUCTION if use_chain else DIRECT_ASSESS_INSTRUCTION

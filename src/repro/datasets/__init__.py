@@ -1,0 +1,32 @@
+"""Synthetic dataset generators and dataset abstractions.
+
+The three corpora the paper uses are semi-restricted video datasets;
+this package generates synthetic stand-ins with matching statistics
+(sample counts, subject counts, class balance) whose stress <-> facial
+action link follows the literature-grounded priors in
+:mod:`repro.facs.stress_priors`:
+
+- :mod:`~repro.datasets.disfa` -- DISFA+ (645 clips, dense 12-AU labels)
+  for Stage-1 instruction tuning;
+- :mod:`~repro.datasets.uvsd` -- UVSD (2092 clips, 112 subjects,
+  920 stressed / 1172 unstressed), lab-quality footage;
+- :mod:`~repro.datasets.rsl` -- RSL (706 clips, 60 subjects,
+  209 stressed / 497 unstressed), harder in-the-wild footage.
+"""
+
+from repro.datasets.base import Sample, StressDataset, kfold_splits, train_test_split
+from repro.datasets.disfa import generate_disfa
+from repro.datasets.instruction import build_instruction_pairs
+from repro.datasets.rsl import generate_rsl
+from repro.datasets.uvsd import generate_uvsd
+
+__all__ = [
+    "Sample",
+    "StressDataset",
+    "build_instruction_pairs",
+    "generate_disfa",
+    "generate_rsl",
+    "generate_uvsd",
+    "kfold_splits",
+    "train_test_split",
+]

@@ -1,0 +1,38 @@
+"""Instruction-pair construction for Stage-1 tuning.
+
+Section III-B: "we construct a facial action description dataset D'
+with instruction answer pairs <V, E> ... For each video V, we transform
+the target action unit label into natural linguistic description E."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import StressDataset
+from repro.facs.descriptions import FacialDescription
+from repro.video.frame import Video
+
+
+@dataclass(frozen=True)
+class InstructionPair:
+    """One <video, description> instruction-tuning example."""
+
+    video: Video
+    description: FacialDescription
+
+    @property
+    def text(self) -> str:
+        """The rendered natural-language answer."""
+        return self.description.render()
+
+
+def build_instruction_pairs(dataset: StressDataset) -> list[InstructionPair]:
+    """Turn an AU-annotated dataset (DISFA+) into <V, E> pairs."""
+    return [
+        InstructionPair(
+            video=sample.video,
+            description=FacialDescription.from_vector(sample.true_aus),
+        )
+        for sample in dataset
+    ]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or split as requested."""
+
+
+class ModelError(ReproError):
+    """A model was used in an unsupported way (e.g. before training)."""
+
+
+class GenerationError(ModelError):
+    """Text/description generation failed or produced an unparsable output."""
+
+
+class TrainingError(ReproError):
+    """A training stage could not run (bad stage ordering, empty data, ...)."""
+
+
+class ExplainerError(ReproError):
+    """An explainer received inputs it cannot attribute."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was invoked with an unknown id or bad options."""

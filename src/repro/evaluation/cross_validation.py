@@ -1,0 +1,43 @@
+"""Generic subject-aware k-fold cross-validation.
+
+The paper reports 10-fold cross-validated means for every method; this
+module runs any fit/predict pair over the folds produced by
+:func:`repro.datasets.base.kfold_splits` and averages the macro
+metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datasets.base import StressDataset, kfold_splits
+from repro.metrics.classification import (
+    ClassificationMetrics,
+    evaluate_predictions,
+    mean_metrics,
+)
+
+#: fit(train_dataset, fold_index) -> predictor;
+#: the predictor maps a Sample to a hard label.
+FitFn = Callable[[StressDataset, int], Callable]
+
+
+def cross_validate(
+    fit: FitFn,
+    dataset: StressDataset,
+    num_folds: int = 10,
+    seed: int = 0,
+) -> tuple[ClassificationMetrics, list[ClassificationMetrics]]:
+    """Run k-fold CV; returns (mean metrics, per-fold metrics)."""
+    per_fold: list[ClassificationMetrics] = []
+    for fold_index, (train_idx, test_idx) in enumerate(
+        kfold_splits(dataset, num_folds, seed)
+    ):
+        train = dataset.subset(train_idx, f"{dataset.name}-fold{fold_index}-train")
+        test = dataset.subset(test_idx, f"{dataset.name}-fold{fold_index}-test")
+        predictor = fit(train, fold_index)
+        predictions = np.array([predictor(sample) for sample in test])
+        per_fold.append(evaluate_predictions(test.labels, predictions))
+    return mean_metrics(per_fold), per_fold

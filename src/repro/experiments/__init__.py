@@ -1,0 +1,19 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each experiment id maps to one paper artifact (see DESIGN.md section 4
+for the full index); run them via::
+
+    python -m repro.experiments <experiment-id> [--scale quick|standard|full]
+
+or programmatically through :func:`repro.experiments.registry.run_experiment`.
+"""
+
+from repro.experiments.common import ExperimentOptions, Scale
+from repro.experiments.registry import experiment_ids, run_experiment
+
+__all__ = [
+    "ExperimentOptions",
+    "Scale",
+    "experiment_ids",
+    "run_experiment",
+]

@@ -1,0 +1,65 @@
+"""Figure 8: effect of training-pool size on in-context retrieval (RSL).
+
+"we extract each subset from the original training dataset of RSL, and
+evaluate the performance with each retrieval method ... the model
+benefits from a larger resource of samples if we retrieve similar ones
+as in-context examples."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cot.chain import StressChainPipeline
+from repro.experiments.common import ExperimentOptions, trained_model
+from repro.experiments.result import ExperimentResult
+from repro.metrics.classification import evaluate_predictions
+from repro.retrieval import DescriptionRetriever, RandomRetriever, VisionRetriever
+
+#: Pool fractions swept along the x axis.
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run(options: ExperimentOptions | None = None) -> ExperimentResult:
+    """Regenerate Figure 8."""
+    options = options or ExperimentOptions()
+    model, train, test = trained_model("rsl", options)
+    full_pool = list(train)
+    series: dict[str, list[float]] = {
+        "Random": [], "Retrieve-by-vision": [], "Retrieve-by-description": [],
+    }
+    sizes = []
+    for fraction in FRACTIONS:
+        size = max(4, int(len(full_pool) * fraction))
+        sizes.append(size)
+        pool = full_pool[:size]
+        retrievers = (
+            ("Random", RandomRetriever(model, pool, seed=options.seed)),
+            ("Retrieve-by-vision",
+             VisionRetriever(model, pool, seed=options.seed)),
+            ("Retrieve-by-description",
+             DescriptionRetriever(model, pool, seed=options.seed)),
+        )
+        for name, retriever in retrievers:
+            pipeline = StressChainPipeline(model, retriever=retriever,
+                                           seed=options.seed)
+            predictions = np.array([
+                pipeline.predict(sample.video).label for sample in test
+            ])
+            metrics = evaluate_predictions(test.labels, predictions)
+            series[name].append(metrics.accuracy)
+    lines = [
+        f"Figure 8: accuracy vs retrieval-pool size "
+        f"(RSL, scale={options.scale.name})",
+        "pool size  " + "  ".join(f"{s:>8d}" for s in sizes),
+    ]
+    for name, accs in series.items():
+        lines.append(
+            f"{name:24s}  " + "  ".join(f"{a * 100:7.2f}%" for a in accs)
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Figure 8: training-pool size for retrieval",
+        text="\n".join(lines),
+        data={"sizes": sizes, "series": series},
+    )

@@ -1,0 +1,56 @@
+"""Experiment registry: one runner per paper table/figure."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentOptions
+from repro.experiments.result import ExperimentResult
+
+from repro.experiments import (  # noqa: E402  (import order is the registry)
+    fig6_efficiency,
+    fig7_similarity,
+    fig8_pool_size,
+    table1_main,
+    table2_faithfulness,
+    table3_chain_ablation,
+    table4_chain_faithfulness,
+    table5_refine_ablation,
+    table6_refine_faithfulness,
+    table7_incontext,
+    table8_offtheshelf,
+)
+
+_REGISTRY: dict[str, Callable[[ExperimentOptions], ExperimentResult]] = {
+    "table1": table1_main.run,
+    "table2": table2_faithfulness.run,
+    "table3": table3_chain_ablation.run,
+    "table4": table4_chain_faithfulness.run,
+    "table5": table5_refine_ablation.run,
+    "table6": table6_refine_faithfulness.run,
+    "table7": table7_incontext.run,
+    "table8": table8_offtheshelf.run,
+    "fig6": fig6_efficiency.run,
+    "fig7": fig7_similarity.run,
+    "fig8": fig8_pool_size.run,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids, tables first."""
+    return tuple(_REGISTRY)
+
+
+def run_experiment(experiment_id: str,
+                   options: ExperimentOptions | None = None
+                   ) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+    return runner(options or ExperimentOptions())

@@ -1,0 +1,19 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment_id: str
+    title: str
+    text: str          # formatted table / series, printable as-is
+    data: Any          # structured values for programmatic use
+
+    def __str__(self) -> str:
+        return self.text

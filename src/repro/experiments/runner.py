@@ -1,0 +1,42 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentOptions, SCALES
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids, or 'all'; known: {', '.join(experiment_ids())}",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                        help="dataset/fold sizes (default: quick)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = list(experiment_ids())
+    options = ExperimentOptions.at(args.scale, args.seed)
+    for experiment_id in requested:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, options)
+        elapsed = time.perf_counter() - start
+        print(result.text)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

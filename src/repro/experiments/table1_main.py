@@ -1,0 +1,67 @@
+"""Table I: stress-detection performance of all methods on UVSD and RSL.
+
+Rows: three off-the-shelf LFM proxies (zero-shot direct query), eight
+supervised baselines (fitted per fold), and ours (full Algorithm 1).
+Columns: macro Accuracy / Precision / Recall / F1 per dataset.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.zoo import baseline_zoo, make_baseline
+from repro.evaluation.protocol import (
+    evaluate_baseline,
+    evaluate_offtheshelf,
+    evaluate_ours,
+)
+from repro.experiments.common import (
+    ExperimentOptions,
+    load_dataset,
+    load_instruction_pairs,
+    refine_config,
+)
+from repro.experiments.result import ExperimentResult
+from repro.metrics.reporting import format_table
+from repro.model.pretrained import available_vendors
+
+COLUMNS = ("Acc.", "Prec.", "Rec.", "F1.")
+
+_VENDOR_LABELS = {
+    "gpt-4o": "GPT-4o",
+    "claude-3.5": "Claude-3.5",
+    "gemini-1.5": "Gemini-1.5",
+}
+
+
+def run(options: ExperimentOptions | None = None) -> ExperimentResult:
+    """Regenerate Table I."""
+    options = options or ExperimentOptions()
+    folds = options.scale.num_folds
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    blocks = []
+    for dataset_name in ("uvsd", "rsl"):
+        dataset = load_dataset(dataset_name, options)
+        rows: dict[str, dict[str, float]] = {}
+        for vendor in available_vendors():
+            metrics = evaluate_offtheshelf(vendor, dataset, folds,
+                                           options.seed)
+            rows[_VENDOR_LABELS[vendor]] = metrics.as_row()
+        for key in baseline_zoo():
+            metrics = evaluate_baseline(key, dataset, folds, options.seed)
+            rows[make_baseline(key).name] = metrics.as_row()
+        metrics = evaluate_ours(
+            dataset, load_instruction_pairs(options), "ours",
+            folds, options.seed, refine_config(options),
+        )
+        rows["Ours"] = metrics.as_row()
+        data[dataset_name] = rows
+        blocks.append(format_table(
+            f"Table I ({dataset_name.upper()}), {folds}-fold CV, "
+            f"scale={options.scale.name}",
+            COLUMNS, rows,
+        ))
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table I: stress detection performance",
+        text="\n\n".join(blocks),
+        data=data,
+    )

@@ -1,0 +1,21 @@
+"""Table VI: impact of self-refine learning on rationale faithfulness.
+
+Reuses the Table IV protocol with the self-refine variants.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentOptions
+from repro.experiments.result import ExperimentResult
+from repro.experiments.table4_chain_faithfulness import run as run_table4
+
+VARIANTS = (("wo_refine", "w/o Refine"), ("wo_reflection", "w/o Reflection"),
+            ("ours", "Ours"))
+
+
+def run(options: ExperimentOptions | None = None) -> ExperimentResult:
+    """Regenerate Table VI."""
+    return run_table4(
+        options, variants=VARIANTS, experiment_id="table6",
+        title="Table VI: self-refine ablation (faithfulness)",
+    )

@@ -1,0 +1,67 @@
+"""Explainer interface.
+
+An explainer attributes a scalar model output (the stress probability)
+to the SLIC segments of the most-expressive frame.  The model is a
+black box reached only through ``predict_fn(frame) -> float`` -- the
+explainers never see weights, which is the premise of the paper's
+efficiency comparison (each perturbation costs a full model call).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExplainerError
+
+#: A black-box prediction function over (possibly perturbed) frames.
+PredictFn = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class SegmentAttribution:
+    """Per-segment attribution scores plus bookkeeping."""
+
+    scores: np.ndarray
+    num_evaluations: int
+    explainer: str
+
+    def ranking(self) -> list[int]:
+        """Segment ids sorted by descending attribution."""
+        return [int(i) for i in np.argsort(-self.scores, kind="stable")]
+
+    def top_k(self, k: int) -> list[int]:
+        return self.ranking()[:k]
+
+
+class Explainer(ABC):
+    """Base class for perturbation explainers."""
+
+    name: str = "explainer"
+
+    @abstractmethod
+    def attribute(self, frame: np.ndarray, labels: np.ndarray,
+                  predict_fn: PredictFn, seed: int = 0) -> SegmentAttribution:
+        """Attribute ``predict_fn``'s output on ``frame`` to segments.
+
+        Parameters
+        ----------
+        frame:
+            The clean most-expressive frame.
+        labels:
+            SLIC segment label map.
+        predict_fn:
+            Black-box model probability on a perturbed frame.
+        seed:
+            Perturbation-sampling seed.
+        """
+
+    @staticmethod
+    def _num_segments(labels: np.ndarray) -> int:
+        num = int(labels.max()) + 1
+        if num < 2:
+            raise ExplainerError("need at least 2 segments to attribute")
+        return num

@@ -1,0 +1,81 @@
+"""SOBOL attribution (Fel et al., NeurIPS 2021).
+
+Attributes the model output to segments via Sobol total-order
+sensitivity indices estimated with the Jansen estimator on
+quasi-Monte-Carlo mask sequences:
+
+    ST_i = E[ (f(A) - f(A_B^(i)))^2 ] / (2 * Var(f))
+
+where ``A`` and ``B`` are two QMC mask matrices and ``A_B^(i)`` is
+``A`` with column ``i`` taken from ``B``.  Masks are real-valued in
+``[0, 1]`` and applied multiplicatively between the frame and a
+mid-gray baseline, as in the original method.  Total black-box calls:
+``N * (d + 2)`` -- the design-point economy that makes SOBOL the
+fastest of the paper's post-hoc baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
+from repro.rng import derive_seed
+
+
+class SobolExplainer(Explainer):
+    """Sobol total-index attribution on QMC masks.
+
+    Parameters
+    ----------
+    num_designs:
+        ``N``, the number of QMC base designs.  Black-box calls are
+        ``N * (num_segments + 2)``; the default keeps the budget near
+        the paper's ~1000 evaluations for 64 segments.
+    baseline:
+        Fill value a fully-masked segment fades toward.
+    """
+
+    name = "SOBOL"
+
+    def __init__(self, num_designs: int = 16, baseline: float = 0.5):
+        if num_designs < 2:
+            raise ValueError("num_designs must be at least 2")
+        self.num_designs = num_designs
+        self.baseline = baseline
+
+    def attribute(self, frame: np.ndarray, labels: np.ndarray,
+                  predict_fn: PredictFn, seed: int = 0) -> SegmentAttribution:
+        num_segments = self._num_segments(labels)
+        sampler = qmc.Sobol(d=2 * num_segments, scramble=True,
+                            seed=derive_seed(seed, "sobol"))
+        designs = sampler.random(self.num_designs)
+        a_masks = designs[:, :num_segments]
+        b_masks = designs[:, num_segments:]
+
+        def evaluate(mask: np.ndarray) -> float:
+            return predict_fn(self._fade(frame, labels, mask))
+
+        f_a = np.array([evaluate(mask) for mask in a_masks])
+        f_b = np.array([evaluate(mask) for mask in b_masks])
+        evaluations = 2 * self.num_designs
+
+        total_variance = np.var(np.concatenate([f_a, f_b]))
+        scores = np.zeros(num_segments)
+        for i in range(num_segments):
+            hybrid = a_masks.copy()
+            hybrid[:, i] = b_masks[:, i]
+            f_hybrid = np.array([evaluate(mask) for mask in hybrid])
+            evaluations += self.num_designs
+            scores[i] = np.mean((f_a - f_hybrid) ** 2) / (
+                2.0 * total_variance + 1e-12
+            )
+        return SegmentAttribution(
+            scores=scores, num_evaluations=evaluations, explainer=self.name
+        )
+
+    def _fade(self, frame: np.ndarray, labels: np.ndarray,
+              mask: np.ndarray) -> np.ndarray:
+        """Blend each segment toward the baseline by ``1 - mask_i``."""
+        alpha = mask[labels]
+        return self.baseline + alpha * (frame - self.baseline)

@@ -1,0 +1,94 @@
+"""Attribution visualization without plotting dependencies.
+
+Two renderers for attribution maps and rationale groundings:
+
+- :func:`ascii_heatmap` -- a terminal heatmap (coarse blocks, ramp
+  characters) for quick inspection inside examples and notebooks;
+- :func:`save_pgm` / :func:`attribution_overlay` -- plain-PGM image
+  export so figures can be produced in environments without
+  matplotlib (PGM opens in any image viewer).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExplainerError
+
+#: Dark-to-bright ramp for terminal rendering.
+_RAMP = " .:-=+*#%@"
+
+
+def segment_score_map(labels: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Expand per-segment scores to a per-pixel map."""
+    scores = np.asarray(scores, dtype=np.float64)
+    num_labels = int(labels.max()) + 1
+    if scores.shape != (num_labels,):
+        raise ExplainerError(
+            f"need one score per segment ({num_labels}), got {scores.shape}"
+        )
+    return scores[labels]
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 48) -> str:
+    """Render a 2-D array as a terminal heatmap."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ExplainerError("ascii_heatmap expects a 2-D array")
+    height = max(1, int(round(values.shape[0] * width
+                              / values.shape[1] / 2)))
+    row_idx = np.linspace(0, values.shape[0] - 1, height).astype(int)
+    col_idx = np.linspace(0, values.shape[1] - 1, width).astype(int)
+    small = values[np.ix_(row_idx, col_idx)]
+    low, high = small.min(), small.max()
+    if high - low < 1e-12:
+        normalised = np.zeros_like(small)
+    else:
+        normalised = (small - low) / (high - low)
+    chars = (normalised * (len(_RAMP) - 1)).round().astype(int)
+    return "\n".join(
+        "".join(_RAMP[c] for c in row) for row in chars
+    )
+
+
+def attribution_overlay(frame: np.ndarray, labels: np.ndarray,
+                        scores: np.ndarray, alpha: float = 0.55) -> np.ndarray:
+    """Blend an attribution map over a frame, both in [0, 1]."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ExplainerError("alpha must lie in [0, 1]")
+    heat = segment_score_map(labels, scores)
+    low, high = heat.min(), heat.max()
+    if high - low > 1e-12:
+        heat = (heat - low) / (high - low)
+    else:
+        heat = np.zeros_like(heat)
+    return np.clip((1 - alpha) * frame + alpha * heat, 0.0, 1.0)
+
+
+def save_pgm(image: np.ndarray, path: str | Path) -> None:
+    """Write a [0, 1] grayscale image as a binary PGM (P5) file."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ExplainerError("save_pgm expects a 2-D image")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    pixels = np.clip(image * 255.0, 0, 255).astype(np.uint8)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(pixels.tobytes())
+
+
+def load_pgm(path: str | Path) -> np.ndarray:
+    """Read back a binary PGM written by :func:`save_pgm`."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P5":
+            raise ExplainerError(f"{path} is not a binary PGM file")
+        dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        data = np.frombuffer(handle.read(width * height), dtype=np.uint8)
+    return data.reshape(height, width).astype(np.float64) / maxval

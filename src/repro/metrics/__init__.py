@@ -1,0 +1,15 @@
+"""Classification metrics and table formatting."""
+
+from repro.metrics.classification import (
+    ClassificationMetrics,
+    confusion_matrix,
+    evaluate_predictions,
+)
+from repro.metrics.reporting import format_table
+
+__all__ = [
+    "ClassificationMetrics",
+    "confusion_matrix",
+    "evaluate_predictions",
+    "format_table",
+]

@@ -1,0 +1,102 @@
+"""Macro-averaged classification metrics.
+
+The paper reports Accuracy, Precision, Recall and F1 with
+macro-averaging ("Macro-average is adopted to assign equal weight to
+each category").  We implement the standard definitions -- note the
+paper's printed formula "Recall = TP/(TP+TN)" is a typo for
+``TP/(TP+FN)``; its reported numbers are consistent with the standard
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int = 2) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count(true == i and pred == j)."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute metrics on empty inputs")
+    out_of_range = (
+        (y_true < 0).any() or (y_true >= num_classes).any()
+        or (y_pred < 0).any() or (y_pred >= num_classes).any()
+    )
+    if out_of_range:
+        raise ValueError(f"labels must lie in [0, {num_classes})")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Macro-averaged binary/multiclass metrics."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+    def as_row(self) -> dict[str, float]:
+        """Metrics as a mapping (used by the table formatters)."""
+        return {
+            "Acc.": self.accuracy,
+            "Prec.": self.precision,
+            "Rec.": self.recall,
+            "F1.": self.f1,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.4f} prec={self.precision:.4f} "
+            f"rec={self.recall:.4f} f1={self.f1:.4f} (n={self.support})"
+        )
+
+
+def evaluate_predictions(y_true: np.ndarray, y_pred: np.ndarray,
+                         num_classes: int = 2) -> ClassificationMetrics:
+    """Macro precision/recall/F1 and accuracy."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    total = matrix.sum()
+    accuracy = float(np.trace(matrix) / total)
+    precisions, recalls, f1s = [], [], []
+    for cls in range(num_classes):
+        tp = matrix[cls, cls]
+        predicted = matrix[:, cls].sum()
+        actual = matrix[cls, :].sum()
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / actual if actual else 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    return ClassificationMetrics(
+        accuracy=accuracy,
+        precision=float(np.mean(precisions)),
+        recall=float(np.mean(recalls)),
+        f1=float(np.mean(f1s)),
+        support=int(total),
+    )
+
+
+def mean_metrics(metrics: list[ClassificationMetrics]) -> ClassificationMetrics:
+    """Average metrics across folds (the paper reports fold means)."""
+    if not metrics:
+        raise ValueError("cannot average an empty metrics list")
+    return ClassificationMetrics(
+        accuracy=float(np.mean([m.accuracy for m in metrics])),
+        precision=float(np.mean([m.precision for m in metrics])),
+        recall=float(np.mean([m.recall for m in metrics])),
+        f1=float(np.mean([m.f1 for m in metrics])),
+        support=int(sum(m.support for m in metrics)),
+    )

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment output.
+
+Experiments print tables in the same row/column layout as the paper so
+EXPERIMENTS.md can be filled by copying harness output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Mapping[str, float | str]],
+    percent: bool = True,
+) -> str:
+    """Render a dict-of-dicts as an aligned text table.
+
+    Parameters
+    ----------
+    title:
+        Printed above the table.
+    columns:
+        Column keys, in order.
+    rows:
+        ``row_label -> {column -> value}``; numeric values are shown
+        as percentages when ``percent`` is true.
+    """
+    def fmt(value: float | str) -> str:
+        if isinstance(value, str):
+            return value
+        return f"{value * 100:.2f}%" if percent else f"{value:.4f}"
+
+    label_width = max([len(label) for label in rows] + [len("Method")])
+    col_widths = [
+        max(len(col), *(len(fmt(vals.get(col, ""))) for vals in rows.values()))
+        if rows else len(col)
+        for col in columns
+    ]
+    lines = [title]
+    header = "Method".ljust(label_width) + "  " + "  ".join(
+        col.rjust(width) for col, width in zip(columns, col_widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        cells = [
+            fmt(values.get(col, "")).rjust(width)
+            for col, width in zip(columns, col_widths)
+        ]
+        lines.append(label.ljust(label_width) + "  " + "  ".join(cells))
+    return "\n".join(lines)

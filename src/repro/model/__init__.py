@@ -1,0 +1,42 @@
+"""The vision-language foundation-model simulator.
+
+:class:`~repro.model.foundation.FoundationModel` stands in for the
+paper's fine-tuned Qwen-VL: it consumes a video's keyframe pair and an
+instruction, and can *describe* facial actions (sampling a structured
+description with exact log-probabilities), *assess* stress, *highlight*
+a rationale, *verify* that a description matches a video, and *reflect*
+on its previous outputs -- each corresponding to one of the paper's
+instructions (:mod:`~repro.model.instructions`).  Dialogue state and
+the fresh-session rule for self-verification live in
+:mod:`~repro.model.session`; frozen "off-the-shelf" vendor proxies in
+:mod:`~repro.model.pretrained`.
+"""
+
+from repro.model.foundation import FoundationModel
+from repro.model.generation import GenerationConfig
+from repro.model.instructions import (
+    ASSESS_INSTRUCTION,
+    DESCRIBE_INSTRUCTION,
+    HIGHLIGHT_INSTRUCTION,
+    Instruction,
+    REFLECT_DESCRIPTION_INSTRUCTION,
+    REFLECT_RATIONALE_INSTRUCTION,
+    VERIFY_INSTRUCTION,
+)
+from repro.model.pretrained import available_vendors, load_offtheshelf
+from repro.model.session import DialogueSession
+
+__all__ = [
+    "ASSESS_INSTRUCTION",
+    "DESCRIBE_INSTRUCTION",
+    "DialogueSession",
+    "FoundationModel",
+    "GenerationConfig",
+    "HIGHLIGHT_INSTRUCTION",
+    "Instruction",
+    "REFLECT_DESCRIPTION_INSTRUCTION",
+    "REFLECT_RATIONALE_INSTRUCTION",
+    "VERIFY_INSTRUCTION",
+    "available_vendors",
+    "load_offtheshelf",
+]

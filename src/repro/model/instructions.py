@@ -1,0 +1,87 @@
+"""Instruction objects for the reasoning chain.
+
+The paper drives its model with three chain instructions (``I1`` =
+Describe, ``I2`` = Assess, ``I3`` = Highlight) plus the self-reflection
+prompts of Figures 3 and 5 and the self-verification prompt of
+Figure 4.  An :class:`Instruction` couples the natural-language prompt
+(kept verbatim for interpretability of transcripts) with a stable key
+the simulator dispatches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A named instruction with its natural-language prompt."""
+
+    key: str
+    prompt: str
+
+    def __str__(self) -> str:
+        return self.prompt
+
+
+DESCRIBE_INSTRUCTION = Instruction(
+    "describe",
+    "Please watch the video and describe the subject's facial "
+    "expressions, covering the movements of the eyebrows, eyelids, "
+    "cheeks, nose, lips, chin and jaw.",
+)
+
+ASSESS_INSTRUCTION = Instruction(
+    "assess",
+    "Based on the video and the facial expressions described above, "
+    "is the subject under stress? Answer Stressed or Unstressed.",
+)
+
+HIGHLIGHT_INSTRUCTION = Instruction(
+    "highlight",
+    "Which of the described facial expressions most influenced your "
+    "stress assessment? List the critical expressions in order of "
+    "importance.",
+)
+
+DIRECT_ASSESS_INSTRUCTION = Instruction(
+    "direct_assess",
+    "Is the subject in this video stressed? Yes or No?",
+)
+
+REFLECT_DESCRIPTION_INSTRUCTION = Instruction(
+    "reflect_description",
+    "The subject in the video is actually {label}. Reflect on your "
+    "previous description of the facial expressions: did you miss or "
+    "misreport any facial action? Watch the video again carefully and "
+    "provide an improved description.",
+)
+
+REFLECT_RATIONALE_INSTRUCTION = Instruction(
+    "reflect_rationale",
+    "Do the facial expressions you highlighted really matter to your "
+    "assessment? Reflect on your rationale and provide a different "
+    "ordering of the critical expressions, faithfully reporting what "
+    "influenced your decision.",
+)
+
+VERIFY_INSTRUCTION = Instruction(
+    "verify",
+    "Here are {num_candidates} videos. The following description was "
+    "written about exactly one of them:\n{description}\nWhich video "
+    "does the description refer to? Answer with the video index.",
+)
+
+#: All instructions, keyed for lookup.
+ALL_INSTRUCTIONS: dict[str, Instruction] = {
+    inst.key: inst
+    for inst in (
+        DESCRIBE_INSTRUCTION,
+        ASSESS_INSTRUCTION,
+        HIGHLIGHT_INSTRUCTION,
+        DIRECT_ASSESS_INSTRUCTION,
+        REFLECT_DESCRIPTION_INSTRUCTION,
+        REFLECT_RATIONALE_INSTRUCTION,
+        VERIFY_INSTRUCTION,
+    )
+}

@@ -1,0 +1,59 @@
+"""Dialogue sessions and the fresh-session rule.
+
+Section III-C: "the self-verification is started in another dialogue
+session, in which the model cannot 'cheat' by reading dialogue
+history."  A :class:`DialogueSession` records every (instruction,
+response) turn; operations that must not see history (verification)
+declare it by calling :meth:`DialogueSession.require_fresh`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.model.instructions import Instruction
+
+
+@dataclass(frozen=True, slots=True)
+class Turn:
+    """One instruction/response exchange."""
+
+    instruction: Instruction
+    response: str
+
+
+@dataclass
+class DialogueSession:
+    """An append-only dialogue transcript."""
+
+    turns: list[Turn] = field(default_factory=list)
+
+    def record(self, instruction: Instruction, response: str) -> None:
+        self.turns.append(Turn(instruction, response))
+
+    def __len__(self) -> int:
+        return len(self.turns)
+
+    @property
+    def is_fresh(self) -> bool:
+        return not self.turns
+
+    def require_fresh(self, operation: str) -> None:
+        """Raise unless the session has no history.
+
+        Enforces the paper's no-cheating rule for self-verification.
+        """
+        if self.turns:
+            raise ModelError(
+                f"{operation} must run in a fresh dialogue session, but this "
+                f"session already has {len(self.turns)} turn(s)"
+            )
+
+    def transcript(self) -> str:
+        """Human-readable transcript of the session."""
+        blocks = []
+        for turn in self.turns:
+            blocks.append(f"[user] {turn.instruction.prompt}")
+            blocks.append(f"[model] {turn.response}")
+        return "\n".join(blocks)

@@ -1,0 +1,36 @@
+"""Minimal numpy neural-network substrate.
+
+The foundation-model simulator and supervised baselines are shallow
+networks (linear heads, small MLPs, attention pooling) trained by
+explicit backpropagation.  This package provides numerically-stable
+tensor ops (:mod:`~repro.nn.tensorops`), layers with manual
+forward/backward passes (:mod:`~repro.nn.layers`), optimizers
+(:mod:`~repro.nn.optim`) and parameter (de)serialization
+(:mod:`~repro.nn.serialization`).  No external ML framework is used.
+"""
+
+from repro.nn.layers import MLP, Linear, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialization import load_params, save_params
+from repro.nn.tensorops import (
+    log_sigmoid,
+    logsumexp,
+    relu,
+    sigmoid,
+    softmax,
+)
+
+__all__ = [
+    "Adam",
+    "Linear",
+    "MLP",
+    "Parameter",
+    "SGD",
+    "load_params",
+    "log_sigmoid",
+    "logsumexp",
+    "relu",
+    "save_params",
+    "sigmoid",
+    "softmax",
+]

@@ -1,0 +1,146 @@
+"""Layers with explicit forward/backward passes.
+
+The layer protocol is deliberately simple: ``forward(x)`` caches what
+the backward pass needs, ``backward(grad_out)`` accumulates parameter
+gradients and returns the gradient w.r.t. the input, and
+``parameters()`` exposes :class:`Parameter` objects for the optimizer.
+Shapes are ``(batch, features)`` throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensorops import relu
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class providing parameter collection and grad reset."""
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Module):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> value mapping (names must be unique)."""
+        state: dict[str, np.ndarray] = {}
+        for param in self.parameters():
+            if param.name in state:
+                raise ValueError(f"duplicate parameter name {param.name!r}")
+            state[param.name] = param.value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for param in self.parameters():
+            if param.name not in state:
+                raise KeyError(f"missing parameter {param.name!r} in state")
+            value = np.asarray(state[param.name], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name!r}: "
+                    f"{value.shape} vs {param.value.shape}"
+                )
+            param.value = value.copy()
+            param.grad = np.zeros_like(param.value)
+
+    def copy(self) -> "Module":
+        """A deep copy with independent parameters (frozen-reference
+        models for DPO are made this way)."""
+        import copy as _copy
+
+        clone = _copy.deepcopy(self)
+        clone.zero_grad()
+        return clone
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 name: str = "linear"):
+        scale = 1.0 / np.sqrt(in_dim)
+        self.weight = Parameter(f"{name}.weight",
+                                rng.uniform(-scale, scale, (in_dim, out_dim)))
+        self.bias = Parameter(f"{name}.bias", np.zeros(out_dim))
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        self.weight.grad += self._input.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations."""
+
+    def __init__(self, dims: list[int], rng: np.random.Generator,
+                 name: str = "mlp"):
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.layers = [
+            Linear(dims[i], dims[i + 1], rng, name=f"{name}.{i}")
+            for i in range(len(dims) - 1)
+        ]
+        self._preacts: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._preacts = []
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for i, layer in enumerate(self.layers):
+            out = layer.forward(out)
+            if i < len(self.layers) - 1:
+                self._preacts.append(out)
+                out = relu(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        for i in reversed(range(len(self.layers))):
+            if i < len(self.layers) - 1:
+                grad = grad * (self._preacts[i] > 0)
+            grad = self.layers[i].backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

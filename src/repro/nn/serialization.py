@@ -1,0 +1,32 @@
+"""Parameter (de)serialization to ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_params(module: Module, path: str | Path) -> None:
+    """Save a module's parameters to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **module.state_dict())
+
+
+def load_params(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_params` into ``module``.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    KeyError / ValueError
+        If the archive is missing parameters or shapes mismatch.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,25 @@
+"""In-context example retrieval (paper Section IV-F).
+
+Three retrieval strategies over a training pool:
+``RandomRetriever``, ``VisionRetriever`` ("Retrieve-by-vision", a
+Videoformer-style visual encoder) and ``DescriptionRetriever``
+("Retrieve-by-description", a BERT-style text encoder over the model's
+own facial-action descriptions).
+"""
+
+from repro.retrieval.encoders import DescriptionEncoder, VisionEncoder
+from repro.retrieval.retriever import (
+    DescriptionRetriever,
+    RandomRetriever,
+    Retriever,
+    VisionRetriever,
+)
+
+__all__ = [
+    "DescriptionEncoder",
+    "DescriptionRetriever",
+    "RandomRetriever",
+    "Retriever",
+    "VisionEncoder",
+    "VisionRetriever",
+]

@@ -1,0 +1,78 @@
+"""Lightweight stand-ins for the paper's retrieval encoders.
+
+- :class:`VisionEncoder` plays Videoformer: a fixed random projection
+  over temporally-pooled patch features.  It sees *appearance* --
+  identity, lighting and expression all mixed together -- which is
+  precisely why vision retrieval separates helpful from unhelpful
+  examples less cleanly than description retrieval (paper Fig. 7).
+- :class:`DescriptionEncoder` plays BERT: a deterministic hashed
+  bag-of-words embedding of the description text.  Two descriptions
+  naming the same facial actions land close together regardless of who
+  exhibits them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.baselines.features import per_frame_features
+from repro.rng import make_rng
+from repro.video.frame import Video
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity, 0 for zero vectors."""
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(a @ b / denom)
+
+
+class VisionEncoder:
+    """Videoformer-lite: random projection of temporally-pooled
+    per-frame patch features."""
+
+    def __init__(self, embed_dim: int = 32, seed: int = 0):
+        self.embed_dim = embed_dim
+        self._projection: np.ndarray | None = None
+        self._seed = seed
+
+    def encode(self, video: Video) -> np.ndarray:
+        frames = per_frame_features(video)
+        pooled = np.concatenate([frames.mean(axis=0), frames.std(axis=0)])
+        if self._projection is None:
+            rng = make_rng(self._seed, "vision-encoder")
+            self._projection = rng.standard_normal(
+                (pooled.size, self.embed_dim)
+            ) / np.sqrt(pooled.size)
+        return pooled @ self._projection
+
+
+class DescriptionEncoder:
+    """BERT-lite: hashed bag-of-words over description text."""
+
+    def __init__(self, embed_dim: int = 64):
+        self.embed_dim = embed_dim
+
+    def encode(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.embed_dim)
+        for token in _tokenize(text):
+            digest = hashlib.blake2b(token.encode("utf-8"),
+                                     digest_size=8).digest()
+            value = int.from_bytes(digest, "little")
+            index = value % self.embed_dim
+            sign = 1.0 if (value >> 32) % 2 == 0 else -1.0
+            vector[index] += sign
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for raw in text.lower().split():
+        token = raw.strip(".,:;-()")
+        if token:
+            tokens.append(token)
+    return tokens

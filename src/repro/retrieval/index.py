@@ -1,0 +1,202 @@
+"""Approximate nearest-neighbour indexes for in-context retrieval.
+
+Section IV-F closes with: "the model benefits from a larger resource
+of samples if we retrieve similar ones as in-context examples.
+Therefore, more efficient data management and retrieval techniques
+could be further explored to support large-scale in-context example
+resource."  This module is that exploration: two classic ANN indexes
+implemented from scratch --
+
+- :class:`LSHIndex`: random-hyperplane locality-sensitive hashing for
+  cosine similarity (Charikar, 2002), with multi-table probing;
+- :class:`IVFFlatIndex`: inverted-file index over k-means coarse
+  centroids with ``nprobe`` cell probing (the FAISS IVF-Flat layout).
+
+Both trade a small recall loss for sub-linear query time over large
+example pools; the trade-off is measured by
+``benchmarks/test_ablation_retrieval_index.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.rng import make_rng
+
+
+class IndexError_(ReproError):
+    """Raised for invalid index construction or queries."""
+
+
+def _as_matrix(vectors: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(vectors, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise IndexError_("index needs a non-empty (N, D) vector matrix")
+    return matrix
+
+
+def _normalise(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+class ExactIndex:
+    """Brute-force cosine index -- the recall=1 reference."""
+
+    def __init__(self, vectors: np.ndarray):
+        self._vectors = _normalise(_as_matrix(vectors))
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    def search(self, query: np.ndarray, k: int = 1) -> list[int]:
+        """Ids of the ``k`` most cosine-similar vectors."""
+        query = np.asarray(query, dtype=np.float64)
+        norm = np.linalg.norm(query)
+        if norm > 0:
+            query = query / norm
+        similarities = self._vectors @ query
+        k = min(k, len(self))
+        top = np.argpartition(-similarities, k - 1)[:k]
+        return [int(i) for i in top[np.argsort(-similarities[top])]]
+
+
+class LSHIndex:
+    """Random-hyperplane LSH for cosine similarity.
+
+    Parameters
+    ----------
+    vectors:
+        ``(N, D)`` pool.
+    num_tables:
+        Independent hash tables; more tables = higher recall.
+    num_bits:
+        Hyperplanes per table; more bits = smaller buckets.
+    seed:
+        Hyperplane seed.
+    """
+
+    def __init__(self, vectors: np.ndarray, num_tables: int = 8,
+                 num_bits: int = 12, seed: int = 0):
+        if num_tables < 1 or num_bits < 1:
+            raise IndexError_("num_tables and num_bits must be positive")
+        self._vectors = _normalise(_as_matrix(vectors))
+        dim = self._vectors.shape[1]
+        rng = make_rng(seed, "lsh-hyperplanes")
+        self._planes = [
+            rng.standard_normal((dim, num_bits)) for _ in range(num_tables)
+        ]
+        self._tables: list[dict[int, list[int]]] = []
+        for planes in self._planes:
+            table: dict[int, list[int]] = {}
+            codes = self._hash(self._vectors, planes)
+            for index, code in enumerate(codes):
+                table.setdefault(int(code), []).append(index)
+            self._tables.append(table)
+
+    @staticmethod
+    def _hash(matrix: np.ndarray, planes: np.ndarray) -> np.ndarray:
+        bits = (matrix @ planes) > 0
+        weights = 1 << np.arange(bits.shape[1])
+        return bits @ weights
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Union of the query's buckets across all tables."""
+        query = np.asarray(query, dtype=np.float64)[np.newaxis, :]
+        seen: dict[int, None] = {}
+        for planes, table in zip(self._planes, self._tables):
+            code = int(self._hash(query, planes)[0])
+            for index in table.get(code, ()):
+                seen.setdefault(index, None)
+        return list(seen)
+
+    def search(self, query: np.ndarray, k: int = 1) -> list[int]:
+        """Top-k by exact rescoring of the LSH candidate set; falls
+        back to brute force when the buckets come up empty."""
+        candidates = self.candidates(query)
+        if not candidates:
+            return ExactIndex(self._vectors).search(query, k)
+        query = np.asarray(query, dtype=np.float64)
+        norm = np.linalg.norm(query)
+        if norm > 0:
+            query = query / norm
+        similarities = self._vectors[candidates] @ query
+        order = np.argsort(-similarities)[:k]
+        return [candidates[int(i)] for i in order]
+
+
+class IVFFlatIndex:
+    """Inverted-file index with k-means coarse quantizer.
+
+    Parameters
+    ----------
+    vectors:
+        ``(N, D)`` pool.
+    num_cells:
+        Coarse centroids (inverted lists).
+    nprobe:
+        Cells probed per query.
+    """
+
+    def __init__(self, vectors: np.ndarray, num_cells: int = 16,
+                 nprobe: int = 2, kmeans_iters: int = 10, seed: int = 0):
+        if num_cells < 1 or nprobe < 1:
+            raise IndexError_("num_cells and nprobe must be positive")
+        self._vectors = _normalise(_as_matrix(vectors))
+        count = self._vectors.shape[0]
+        self.num_cells = min(num_cells, count)
+        self.nprobe = min(nprobe, self.num_cells)
+        rng = make_rng(seed, "ivf-kmeans")
+        initial = rng.choice(count, size=self.num_cells, replace=False)
+        self._centroids = self._vectors[initial].copy()
+        assignment = np.zeros(count, dtype=np.int64)
+        for _ in range(kmeans_iters):
+            similarities = self._vectors @ self._centroids.T
+            assignment = np.argmax(similarities, axis=1)
+            for cell in range(self.num_cells):
+                members = self._vectors[assignment == cell]
+                if len(members):
+                    centroid = members.mean(axis=0)
+                    norm = np.linalg.norm(centroid)
+                    if norm > 0:
+                        self._centroids[cell] = centroid / norm
+        self._lists: list[list[int]] = [[] for _ in range(self.num_cells)]
+        for index, cell in enumerate(assignment):
+            self._lists[int(cell)].append(index)
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    def search(self, query: np.ndarray, k: int = 1) -> list[int]:
+        """Top-k by exact rescoring inside the ``nprobe`` nearest
+        cells."""
+        query = np.asarray(query, dtype=np.float64)
+        norm = np.linalg.norm(query)
+        if norm > 0:
+            query = query / norm
+        cell_order = np.argsort(-(self._centroids @ query))
+        candidates: list[int] = []
+        for cell in cell_order[: self.nprobe]:
+            candidates.extend(self._lists[int(cell)])
+        if not candidates:
+            return ExactIndex(self._vectors).search(query, k)
+        similarities = self._vectors[candidates] @ query
+        order = np.argsort(-similarities)[:k]
+        return [candidates[int(i)] for i in order]
+
+
+def recall_at_k(index, reference: ExactIndex, queries: np.ndarray,
+                k: int = 1) -> float:
+    """Fraction of queries whose top-k hits intersect the exact
+    top-k -- the standard ANN recall metric."""
+    hits = 0
+    for query in queries:
+        approx = set(index.search(query, k))
+        exact = set(reference.search(query, k))
+        hits += bool(approx & exact)
+    return hits / len(queries)

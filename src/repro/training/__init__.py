@@ -1,0 +1,43 @@
+"""Training stages of the paper's Algorithm 1.
+
+- :mod:`~repro.training.losses` -- Eq. 2 (description NLL), Eq. 4
+  (assessment NLL) and the shared DPO objective of Eqs. 3 and 5;
+- :mod:`~repro.training.instruction_tuning` -- Stage 1: learn to
+  describe facial actions on DISFA+;
+- :mod:`~repro.training.helpfulness` / :mod:`~repro.training.verification`
+  -- the two description-quality scores (h and f) of Section III-C;
+- :mod:`~repro.training.reflection` -- self-reflection candidate
+  generation for descriptions and rationales;
+- :mod:`~repro.training.faithfulness` -- the flip-count faithfulness
+  score of rationales (Section III-D);
+- :mod:`~repro.training.dpo` -- Direct Preference Optimization over
+  description sets and rationale orderings;
+- :mod:`~repro.training.self_refine` -- the full Algorithm-1
+  orchestration with every ablation switch the paper evaluates.
+"""
+
+from repro.training.dpo import DPOTrainer
+from repro.training.faithfulness import rationale_flip_count
+from repro.training.helpfulness import helpfulness_score
+from repro.training.instruction_tuning import train_describe
+from repro.training.losses import (
+    assess_nll,
+    description_nll,
+    dpo_loss,
+)
+from repro.training.self_refine import SelfRefineConfig, SelfRefineTrainer
+
+__all__ = [
+    "DPOTrainer",
+    "SelfRefineConfig",
+    "SelfRefineTrainer",
+    "assess_nll",
+    "description_nll",
+    "dpo_loss",
+    "helpfulness_score",
+    "rationale_flip_count",
+    "train_describe",
+    "verification_score",
+]
+
+from repro.training.verification import verification_score  # noqa: E402

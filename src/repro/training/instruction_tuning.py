@@ -1,0 +1,146 @@
+"""Stage 1: instruction tuning on facial-action descriptions (Eq. 2).
+
+"After acquiring the knowledge to identify facial expressions via
+instruction tuning with expert annotation, the model will follow the
+Describe -> Assess -> Highlight reasoning chain."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.instruction import InstructionPair
+from repro.errors import TrainingError
+from repro.model.foundation import FoundationModel
+from repro.nn.optim import Adam
+from repro.rng import make_rng
+from repro.training.losses import description_nll
+
+
+def train_describe(
+    model: FoundationModel,
+    pairs: list[InstructionPair],
+    epochs: int = 150,
+    lr: float = 1e-2,
+    feature_noise: float = 0.15,
+    patch_dropout: float = 0.08,
+    seed: int = 0,
+) -> list[float]:
+    """Fit the trunk + AU description heads on <V, E> pairs.
+
+    Light feature-noise / patch-dropout augmentation (as in
+    :func:`train_assess`) keeps the learned AU filters concentrated on
+    each action's landmark blob instead of on incidental pixels, so a
+    random occluded segment does not spuriously toggle a description.
+
+    Returns the per-epoch loss curve (useful for tests asserting that
+    the loss actually decreases).
+    """
+    if not pairs:
+        raise TrainingError("instruction tuning needs at least one pair")
+    features = model.features_matrix([pair.video for pair in pairs])
+    targets = np.stack([pair.description.to_vector() for pair in pairs])
+    optimizer = Adam(
+        model.trunk.parameters() + model.au_head.parameters(), lr=lr
+    )
+    noise_rng = make_rng(seed, "describe-feature-noise")
+    num_patches = features.shape[1] // 2
+    curve: list[float] = []
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        inputs = features
+        if feature_noise > 0:
+            inputs = features + noise_rng.normal(0.0, feature_noise,
+                                                 features.shape)
+        if patch_dropout > 0:
+            keep = noise_rng.random((inputs.shape[0], num_patches)) >= patch_dropout
+            if inputs is features:
+                inputs = features.copy()
+            inputs[:, :num_patches] *= keep
+            inputs[:, num_patches:] *= keep
+        logits = model.au_logits_batch(inputs)
+        loss, grad = description_nll(logits, targets)
+        model.backward_description_batch(grad)
+        optimizer.step()
+        curve.append(loss)
+    return curve
+
+
+def train_assess(
+    model: FoundationModel,
+    videos: list,
+    descriptions: list,
+    labels: np.ndarray,
+    epochs: int = 200,
+    lr: float = 1e-2,
+    weight_decay: float = 0.01,
+    feature_noise: float = 0.2,
+    patch_dropout: float = 0.14,
+    seed: int = 0,
+    train_au_pathway: bool = False,
+) -> list[float]:
+    """Fit the assessment head on (V, E, A) triples (Eq. 4).
+
+    ``descriptions[i]`` may be ``None`` (the "w/o Chain" variant, which
+    assesses from the video alone).  By default only the assessment
+    head is optimized so assessment tuning cannot erode the Describe
+    ability acquired in Stage 1; ``train_au_pathway=True`` also adapts
+    the shared trunk.
+
+    Three regularizers keep the head faithful to how a large VLM
+    behaves: a small weight decay keeps probabilities calibrated
+    (saturated outputs would void every downstream faithfulness
+    signal); Gaussian *feature-noise* and *patch-dropout* augmentation
+    make the vision pathway robust to pixel perturbation and
+    single-segment occlusion -- pushing decision influence into the
+    description channel, which is what the paper's chain-reasoning
+    story (and its "w/o Chain" gap) relies on.
+    """
+    if len(videos) != len(descriptions) or len(videos) != len(labels):
+        raise TrainingError("videos, descriptions and labels must align")
+    if not videos:
+        raise TrainingError("assessment tuning needs at least one sample")
+    num_aus = model.au_head.bias.value.shape[0]
+    features = model.features_matrix(videos)
+    desc_vectors = np.stack([
+        desc.to_vector() if desc is not None else np.zeros(num_aus)
+        for desc in descriptions
+    ])
+    labels = np.asarray(labels, dtype=np.float64)
+    params = model.assess_head.parameters()
+    if train_au_pathway:
+        params = params + model.trunk.parameters()
+    optimizer = Adam(params, lr=lr, weight_decay=weight_decay)
+    noise_rng = make_rng(seed, "assess-feature-noise")
+    num_patches = features.shape[1] // 2
+    # Class-balanced sample weights (mean 1): the paper reports macro
+    # metrics, and RSL is 70/30 imbalanced -- an unweighted fit would
+    # sacrifice stressed-class recall for accuracy.
+    positive_rate = float(labels.mean())
+    if 0.0 < positive_rate < 1.0:
+        weights = np.where(labels > 0.5, 0.5 / positive_rate,
+                           0.5 / (1.0 - positive_rate))
+    else:
+        weights = np.ones_like(labels)
+    curve: list[float] = []
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        inputs = features
+        if feature_noise > 0:
+            inputs = features + noise_rng.normal(0.0, feature_noise,
+                                                 features.shape)
+        if patch_dropout > 0:
+            # Zero both channels of dropped patches, emulating a
+            # blanked segment in pixel space.
+            keep = noise_rng.random((inputs.shape[0], num_patches)) >= patch_dropout
+            if inputs is features:
+                inputs = features.copy()
+            inputs[:, :num_patches] *= keep
+            inputs[:, num_patches:] *= keep
+        logits = model.assess_logits_batch(inputs, desc_vectors)
+        loss, grad = description_nll(logits[:, np.newaxis],
+                                     labels[:, np.newaxis])
+        model.backward_assess_batch(grad[:, 0] * weights)
+        optimizer.step()
+        curve.append(loss)
+    return curve

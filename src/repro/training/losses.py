@@ -1,0 +1,65 @@
+"""Loss functions of Algorithm 1.
+
+``description_nll`` is Eq. 2, ``assess_nll`` Eq. 4, and ``dpo_loss``
+the shared Direct Preference Optimization objective of Eqs. 3 and 5:
+
+    L = -log sigmoid( beta * [ (log pi(w) - log ref(w))
+                             - (log pi(l) - log ref(l)) ] )
+
+``dpo_loss`` also returns the gradient of L w.r.t. the *policy*
+log-probabilities, which the trainers chain through the model's
+backward hooks (the reference model is frozen, so its terms carry no
+gradient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensorops import (
+    binary_cross_entropy_with_logits,
+    log_sigmoid,
+    sigmoid,
+)
+
+
+def description_nll(logits: np.ndarray, targets: np.ndarray
+                    ) -> tuple[float, np.ndarray]:
+    """Eq. 2: negative log-likelihood of target AU descriptions.
+
+    ``logits``/``targets`` are ``(N, 12)``.  Returns (loss, grad).
+    """
+    return binary_cross_entropy_with_logits(logits, targets)
+
+
+def assess_nll(logits: np.ndarray, labels: np.ndarray
+               ) -> tuple[float, np.ndarray]:
+    """Eq. 4: negative log-likelihood of stress labels.
+
+    ``logits``/``labels`` are ``(N,)``.  Returns (loss, grad).
+    """
+    return binary_cross_entropy_with_logits(logits, labels)
+
+
+def dpo_loss(
+    policy_winner_logprob: float,
+    policy_loser_logprob: float,
+    ref_winner_logprob: float,
+    ref_loser_logprob: float,
+    beta: float = 0.1,
+) -> tuple[float, float, float]:
+    """The DPO objective for one preference pair.
+
+    Returns ``(loss, grad_winner, grad_loser)`` where the gradients are
+    w.r.t. the policy log-probabilities of the winner and loser.
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    margin = beta * (
+        (policy_winner_logprob - ref_winner_logprob)
+        - (policy_loser_logprob - ref_loser_logprob)
+    )
+    loss = -float(log_sigmoid(np.array(margin))[()])
+    # dL/dmargin = -sigmoid(-margin); chain through beta.
+    coeff = -float(sigmoid(np.array(-margin))[()]) * beta
+    return loss, coeff, -coeff

@@ -1,0 +1,59 @@
+"""Self-reflection candidate generation.
+
+Thin orchestration over the model's reflective generation methods:
+candidate descriptions for the Section III-C description-refinement
+loop, and candidate rationales for the Section III-D best/worst
+selection.  The ``use_reflection=False`` paths implement the paper's
+"w/o reflection" ablation, which "simply samples different
+descriptions and rationales from the model using instructions I1 and
+I3" instead of reflecting.
+"""
+
+from __future__ import annotations
+
+from repro.facs.descriptions import FacialDescription
+from repro.model.foundation import FoundationModel
+from repro.model.generation import GenerationConfig
+from repro.rng import derive_seed
+from repro.video.frame import Video
+
+
+def propose_description(
+    model: FoundationModel,
+    video: Video,
+    previous: FacialDescription,
+    round_index: int,
+    seed: int,
+    true_label: int | None,
+    use_reflection: bool = True,
+) -> FacialDescription:
+    """One candidate description E' for the refinement loop."""
+    draw_seed = derive_seed(seed, f"reflectE:{video.video_id}:{round_index}")
+    config = GenerationConfig(temperature=1.0, seed=draw_seed)
+    if use_reflection:
+        return model.reflect_description(video, previous, config,
+                                         true_label=true_label)
+    return model.describe(video, config)
+
+
+def propose_rationales(
+    model: FoundationModel,
+    video: Video,
+    description: FacialDescription,
+    assessment: int,
+    num_candidates: int,
+    seed: int,
+    use_reflection: bool = True,
+) -> list[tuple[int, ...]]:
+    """n candidate rationales (Algorithm 1 line 12)."""
+    candidates = []
+    for index in range(num_candidates):
+        draw_seed = derive_seed(seed, f"reflectR:{video.video_id}:{index}")
+        config = GenerationConfig(temperature=1.0, seed=draw_seed)
+        if use_reflection:
+            rationale = model.reflect_rationale(video, description,
+                                                assessment, config)
+        else:
+            rationale = model.highlight(video, description, assessment, config)
+        candidates.append(rationale)
+    return candidates

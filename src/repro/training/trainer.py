@@ -1,0 +1,58 @@
+"""High-level training entry points and the paper's ablation variants.
+
+``train_stress_model`` runs the full pipeline on one train split and
+returns the trained model; ``VARIANTS`` maps the names used in
+Tables III-VI to their :class:`SelfRefineConfig` switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.datasets.base import StressDataset
+from repro.datasets.instruction import InstructionPair
+from repro.errors import TrainingError
+from repro.model.foundation import FoundationModel
+from repro.rng import make_rng
+from repro.training.self_refine import (
+    SelfRefineConfig,
+    SelfRefineTrainer,
+    TrainingReport,
+)
+
+#: Ablation variants evaluated in the paper, as config transformers.
+VARIANTS: dict[str, dict[str, bool]] = {
+    "ours": {},
+    "wo_chain": {"use_chain": False},
+    "wo_learn_des": {"learn_describe": False},
+    "wo_refine": {"use_refinement": False},
+    "wo_reflection": {"use_reflection": False},
+}
+
+
+def variant_config(name: str,
+                   base: SelfRefineConfig | None = None) -> SelfRefineConfig:
+    """The :class:`SelfRefineConfig` for a named paper variant."""
+    if name not in VARIANTS:
+        raise TrainingError(
+            f"unknown variant {name!r}; known: {sorted(VARIANTS)}"
+        )
+    base = base or SelfRefineConfig()
+    return replace(base, **VARIANTS[name])
+
+
+def train_stress_model(
+    train_data: StressDataset,
+    instruction_pairs: list[InstructionPair],
+    config: SelfRefineConfig | None = None,
+    seed: int = 0,
+) -> tuple[FoundationModel, TrainingReport]:
+    """Initialise and train one model on ``train_data``.
+
+    Returns the trained model and the stage-by-stage report.
+    """
+    config = config or SelfRefineConfig(seed=seed)
+    model = FoundationModel(make_rng(seed, "foundation-model"))
+    trainer = SelfRefineTrainer(model, config)
+    report = trainer.fit(train_data, instruction_pairs)
+    return model, report

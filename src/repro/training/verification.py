@@ -1,0 +1,70 @@
+"""Self-verification of facial descriptions (Section III-C, Figure 4).
+
+"we also randomly select 3 video samples from other subjects as
+negative samples, and prompt the model to select the correct sample
+that E describes out of the 4 videos ... the self-verification is
+started in another dialogue session."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.facs.descriptions import FacialDescription
+from repro.model.foundation import FoundationModel
+from repro.model.generation import GenerationConfig
+from repro.model.session import DialogueSession
+from repro.rng import derive_seed, make_rng
+from repro.video.frame import Video
+
+#: Temperature of the verification choice; positive so K repetitions
+#: measure confidence rather than a single argmax.
+VERIFY_TEMPERATURE: float = 1.0
+
+
+def verification_score(
+    model: FoundationModel,
+    video: Video,
+    description: FacialDescription,
+    pool: list[Video],
+    num_trials: int = 5,
+    num_negatives: int = 3,
+    seed: int = 0,
+) -> float:
+    """Fraction of K multiple-choice trials where the model picks the
+    described video out of ``1 + num_negatives`` candidates.
+
+    Negatives are drawn (per trial) from pool videos of *other*
+    subjects; every trial runs in a fresh dialogue session.
+    """
+    candidates_pool = [
+        v for v in pool
+        if v.subject_id != video.subject_id and v.video_id != video.video_id
+    ]
+    if len(candidates_pool) < num_negatives:
+        raise TrainingError(
+            f"need at least {num_negatives} other-subject videos for "
+            f"verification, got {len(candidates_pool)}"
+        )
+    hits = 0
+    for trial in range(num_trials):
+        trial_seed = derive_seed(seed, f"verify:{video.video_id}:{trial}")
+        rng = make_rng(trial_seed, "negatives")
+        negatives = [
+            candidates_pool[i]
+            for i in rng.choice(len(candidates_pool), size=num_negatives,
+                                replace=False)
+        ]
+        candidates = negatives + [video]
+        order = rng.permutation(len(candidates))
+        shuffled = [candidates[i] for i in order]
+        target = int(np.where(order == len(candidates) - 1)[0][0])
+        session = DialogueSession()
+        choice = model.verify(
+            description, shuffled,
+            GenerationConfig(temperature=VERIFY_TEMPERATURE, seed=trial_seed),
+            session,
+        )
+        hits += int(choice == target)
+    return hits / num_trials

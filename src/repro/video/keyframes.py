@@ -1,0 +1,29 @@
+"""Most/least-expressive keyframe extraction.
+
+Following Zhang et al. (TSDNET) -- and Section IV-H of the paper -- the
+model input is reduced to two frames per clip: the most expressive
+frame ``f_e`` and the least expressive frame ``f_l``.  On the synthetic
+substrate the expressiveness of a frame is the total action-unit
+intensity it carries, which is exactly what TSDNET's facial-emotion
+scorer approximates on real video.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frame import VideoSpec
+
+
+def expressiveness(spec: VideoSpec) -> np.ndarray:
+    """Per-frame expressiveness score: total AU intensity, shape (T,)."""
+    return spec.au_intensities.sum(axis=1)
+
+
+def extract_keyframes(spec: VideoSpec) -> tuple[int, int]:
+    """Return (most-expressive, least-expressive) frame indices.
+
+    Ties resolve to the earliest frame, so extraction is deterministic.
+    """
+    scores = expressiveness(spec)
+    return int(np.argmax(scores)), int(np.argmin(scores))

@@ -1,0 +1,91 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, a trained model) are session-scoped and
+deliberately tiny; they exist so integration-grade tests can assert on
+real trained behaviour without each test paying the training cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    build_instruction_pairs,
+    generate_disfa,
+    generate_rsl,
+    generate_uvsd,
+    train_test_split,
+)
+from repro.model.foundation import FoundationModel
+from repro.rng import make_rng
+from repro.training.self_refine import SelfRefineConfig
+from repro.training.trainer import train_stress_model
+from repro.video.frame import Video, VideoSpec
+
+
+@pytest.fixture(scope="session")
+def micro_uvsd():
+    return generate_uvsd(seed=7, num_samples=160, num_subjects=16)
+
+
+@pytest.fixture(scope="session")
+def micro_rsl():
+    return generate_rsl(seed=7, num_samples=120, num_subjects=12)
+
+
+@pytest.fixture(scope="session")
+def micro_disfa():
+    return generate_disfa(seed=7, num_samples=120, num_subjects=10)
+
+
+@pytest.fixture(scope="session")
+def instruction_pairs(micro_disfa):
+    return build_instruction_pairs(micro_disfa)
+
+
+@pytest.fixture(scope="session")
+def micro_split(micro_uvsd):
+    return train_test_split(micro_uvsd, test_fraction=0.25, seed=3)
+
+
+@pytest.fixture(scope="session")
+def micro_config():
+    return SelfRefineConfig(
+        describe_epochs=80,
+        assess_epochs=100,
+        refine_sample_limit=40,
+        num_trials=3,
+        num_rationale_candidates=3,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained(micro_split, instruction_pairs, micro_config):
+    """(model, report, train, test) trained on the micro UVSD split."""
+    train, test = micro_split
+    model, report = train_stress_model(train, instruction_pairs,
+                                       micro_config, seed=7)
+    return model, report, train, test
+
+
+@pytest.fixture()
+def fresh_model():
+    return FoundationModel(make_rng(123, "test-model"))
+
+
+@pytest.fixture()
+def sample_video():
+    rng = np.random.default_rng(5)
+    curves = np.zeros((12, 12))
+    curves[:, 2] = np.linspace(0.1, 0.9, 12)   # AU4 ramps up
+    curves[:, 4] = 0.7                          # AU6 constant
+    spec = VideoSpec(
+        video_id="test-video-0",
+        subject_id="test-subj-0",
+        au_intensities=curves,
+        identity=rng.standard_normal(8),
+        seed=42,
+    )
+    return Video(spec)

@@ -1,0 +1,96 @@
+"""Tests for dataset abstractions and subject-aware splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import (
+    Sample,
+    StressDataset,
+    kfold_splits,
+    train_test_split,
+)
+from repro.errors import DatasetError
+from repro.video.frame import Video, VideoSpec
+
+
+def _sample(video_id="v0", subject_id="s0", label=0):
+    spec = VideoSpec(
+        video_id=video_id, subject_id=subject_id,
+        au_intensities=np.zeros((4, 12)),
+        identity=np.zeros(8), seed=0,
+    )
+    return Sample(video=Video(spec), label=label, true_aus=np.zeros(12))
+
+
+class TestSample:
+    def test_bad_label_raises(self):
+        with pytest.raises(DatasetError):
+            _sample(label=3)
+
+    def test_true_description(self):
+        sample = _sample()
+        assert sample.true_description().au_ids == ()
+
+
+class TestStressDataset:
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(DatasetError):
+            StressDataset("d", (_sample("a"), _sample("a")))
+
+    def test_class_counts(self, micro_uvsd):
+        unstressed, stressed = micro_uvsd.class_counts()
+        assert unstressed + stressed == len(micro_uvsd)
+        assert stressed > 0 and unstressed > 0
+
+    def test_subjects_order_stable(self, micro_uvsd):
+        assert micro_uvsd.subjects() == micro_uvsd.subjects()
+
+    def test_subset_preserves_order(self, micro_uvsd):
+        subset = micro_uvsd.subset([3, 1, 5])
+        assert [s.sample_id for s in subset] == [
+            micro_uvsd[3].sample_id, micro_uvsd[1].sample_id,
+            micro_uvsd[5].sample_id,
+        ]
+
+
+class TestKFold:
+    def test_folds_partition_samples(self, micro_uvsd):
+        splits = kfold_splits(micro_uvsd, num_folds=4, seed=0)
+        all_test = np.concatenate([test for __, test in splits])
+        assert sorted(all_test.tolist()) == list(range(len(micro_uvsd)))
+
+    def test_subject_aware(self, micro_uvsd):
+        for train_idx, test_idx in kfold_splits(micro_uvsd, 4, seed=0):
+            train_subjects = {micro_uvsd[i].subject_id for i in train_idx}
+            test_subjects = {micro_uvsd[i].subject_id for i in test_idx}
+            assert not train_subjects & test_subjects
+
+    def test_deterministic(self, micro_uvsd):
+        a = kfold_splits(micro_uvsd, 4, seed=1)
+        b = kfold_splits(micro_uvsd, 4, seed=1)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_too_few_subjects_raises(self):
+        dataset = StressDataset("d", (_sample("a", "s0"), _sample("b", "s1")))
+        with pytest.raises(DatasetError):
+            kfold_splits(dataset, num_folds=5)
+
+    def test_bad_fold_count_raises(self, micro_uvsd):
+        with pytest.raises(DatasetError):
+            kfold_splits(micro_uvsd, num_folds=1)
+
+
+class TestTrainTestSplit:
+    def test_subject_aware(self, micro_uvsd):
+        train, test = train_test_split(micro_uvsd, 0.25, seed=0)
+        assert not set(train.subjects()) & set(test.subjects())
+
+    def test_sizes_reasonable(self, micro_uvsd):
+        train, test = train_test_split(micro_uvsd, 0.25, seed=0)
+        assert len(train) + len(test) == len(micro_uvsd)
+        assert 0.1 < len(test) / len(micro_uvsd) < 0.45
+
+    def test_bad_fraction_raises(self, micro_uvsd):
+        with pytest.raises(DatasetError):
+            train_test_split(micro_uvsd, 0.0)

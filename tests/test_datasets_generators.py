@@ -1,0 +1,105 @@
+"""Tests for the UVSD / RSL / DISFA+ generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_disfa, generate_rsl, generate_uvsd
+from repro.datasets.instruction import build_instruction_pairs
+from repro.datasets.rsl import rsl_config
+from repro.datasets.synth import SynthesisConfig, synthesize_dataset
+from repro.datasets.uvsd import uvsd_config
+from repro.errors import DatasetError
+from repro.facs.stress_priors import default_stress_prior
+
+
+class TestPaperStatistics:
+    """Full-size generation matches the paper's corpus statistics."""
+
+    def test_uvsd_counts(self):
+        dataset = generate_uvsd()
+        assert len(dataset) == 2092
+        assert len(dataset.subjects()) == 112
+        assert dataset.class_counts() == (1172, 920)
+
+    def test_rsl_counts(self):
+        dataset = generate_rsl()
+        assert len(dataset) == 706
+        assert len(dataset.subjects()) == 60
+        assert dataset.class_counts() == (497, 209)
+
+    def test_disfa_counts(self):
+        dataset = generate_disfa()
+        assert len(dataset) == 645
+
+
+class TestScaledGeneration:
+    def test_balance_preserved_when_scaled(self):
+        dataset = generate_uvsd(num_samples=400, num_subjects=40)
+        unstressed, stressed = dataset.class_counts()
+        paper_ratio = 920 / 2092
+        assert abs(stressed / 400 - paper_ratio) < 0.03
+
+    def test_deterministic_per_seed(self):
+        a = generate_rsl(seed=5, num_samples=60, num_subjects=10)
+        b = generate_rsl(seed=5, num_samples=60, num_subjects=10)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a[0].video.frame(0), b[0].video.frame(0))
+
+    def test_seed_changes_data(self):
+        a = generate_rsl(seed=1, num_samples=60, num_subjects=10)
+        b = generate_rsl(seed=2, num_samples=60, num_subjects=10)
+        assert not np.array_equal(a[0].true_aus, b[0].true_aus) or \
+            not np.array_equal(a[0].video.frame(0), b[0].video.frame(0))
+
+
+class TestSignalStructure:
+    def test_stress_signal_present(self):
+        """AU occurrence statistics must separate the classes."""
+        dataset = generate_uvsd(num_samples=600, num_subjects=50)
+        weights = default_stress_prior(
+            coupling=uvsd_config().prior.coupling
+        ).evidence_weights()
+        scores = np.array([s.true_aus @ weights for s in dataset])
+        labels = dataset.labels
+        assert scores[labels == 1].mean() > scores[labels == 0].mean() + 1.0
+
+    def test_rsl_is_harder_than_uvsd(self):
+        assert rsl_config().prior.coupling < uvsd_config().prior.coupling
+        assert rsl_config().label_noise > uvsd_config().label_noise
+        assert rsl_config().occlusion_rate > uvsd_config().occlusion_rate
+
+    def test_disfa_covers_all_aus(self):
+        dataset = generate_disfa(num_samples=300, num_subjects=10)
+        occurrences = np.stack([s.true_aus for s in dataset]).sum(axis=0)
+        assert np.all(occurrences > 0), "every AU must appear in DISFA+"
+
+
+class TestSynthesisConfigValidation:
+    def test_invalid_counts_raise(self):
+        with pytest.raises(DatasetError):
+            SynthesisConfig("x", 0, 1, 0, default_stress_prior())
+        with pytest.raises(DatasetError):
+            SynthesisConfig("x", 10, 1, 20, default_stress_prior())
+        with pytest.raises(DatasetError):
+            SynthesisConfig("x", 10, 1, 5, default_stress_prior(),
+                            label_noise=0.7)
+
+    def test_stressed_count_exact(self):
+        config = SynthesisConfig("x", 101, 7, 37, default_stress_prior())
+        records = synthesize_dataset(config, seed=0)
+        assert sum(label for __, label, __ in records) == 37
+
+
+class TestInstructionPairs:
+    def test_pairs_match_labels(self):
+        dataset = generate_disfa(num_samples=40, num_subjects=5)
+        pairs = build_instruction_pairs(dataset)
+        assert len(pairs) == 40
+        for sample, pair in zip(dataset, pairs):
+            assert np.array_equal(pair.description.to_vector(),
+                                  sample.true_aus)
+
+    def test_pair_text_renders(self):
+        dataset = generate_disfa(num_samples=5, num_subjects=2)
+        pairs = build_instruction_pairs(dataset)
+        assert pairs[0].text.startswith("The facial expressions")

@@ -1,0 +1,61 @@
+"""Tests for AU-stress association priors."""
+
+import numpy as np
+import pytest
+
+from repro.facs.action_units import au_index
+from repro.facs.stress_priors import StressPrior, default_stress_prior
+
+
+class TestStressPrior:
+    def test_probabilities_valid(self):
+        prior = default_stress_prior()
+        for stressed in (False, True):
+            probs = prior.activation_probs(stressed)
+            assert np.all(probs > 0) and np.all(probs < 1)
+
+    def test_stress_raises_frown(self):
+        prior = default_stress_prior()
+        idx = au_index(4)  # brow lowerer
+        assert (prior.activation_probs(True)[idx]
+                > prior.activation_probs(False)[idx])
+
+    def test_stress_suppresses_smile(self):
+        prior = default_stress_prior()
+        idx = au_index(12)  # lip corner puller
+        assert (prior.activation_probs(True)[idx]
+                < prior.activation_probs(False)[idx])
+
+    def test_zero_coupling_removes_signal(self):
+        prior = default_stress_prior(coupling=0.0)
+        assert np.allclose(prior.activation_probs(True),
+                           prior.activation_probs(False))
+
+    def test_coupling_scales_evidence(self):
+        weak = default_stress_prior(coupling=0.5).evidence_weights()
+        strong = default_stress_prior(coupling=2.0).evidence_weights()
+        assert np.abs(strong).sum() > np.abs(weak).sum()
+
+    def test_evidence_sign_matches_direction(self):
+        prior = default_stress_prior()
+        weights = prior.evidence_weights()
+        for au_id in (1, 4, 15, 20):
+            assert weights[au_index(au_id)] > 0
+            assert prior.stress_direction(au_id) == 1
+        for au_id in (6, 12):
+            assert weights[au_index(au_id)] < 0
+            assert prior.stress_direction(au_id) == -1
+
+    def test_invalid_base_rates_raise(self):
+        with pytest.raises(ValueError):
+            StressPrior(base_rates=np.zeros(12),
+                        stress_log_odds=np.zeros(12))
+
+    def test_negative_coupling_raises(self):
+        with pytest.raises(ValueError):
+            StressPrior(coupling=-1.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            StressPrior(base_rates=np.full(5, 0.5),
+                        stress_log_odds=np.zeros(5))

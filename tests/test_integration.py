@@ -1,0 +1,82 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+
+from repro import (
+    StressChainPipeline,
+    evaluate_predictions,
+    load_offtheshelf,
+)
+from repro.explainers import (
+    LimeExplainer,
+    chain_predict_fn,
+    deletion_metric,
+    explainer_ranker,
+    rationale_ranker,
+)
+
+
+class TestDetectionPipeline:
+    def test_chain_beats_direct_query(self, trained):
+        """The reasoning chain must outperform the direct query on the
+        held-out split (the paper's central claim)."""
+        model, __, __, test = trained
+        chain = StressChainPipeline(model, use_chain=True)
+        direct = StressChainPipeline(model, use_chain=False)
+        labels = test.labels
+        chain_preds = np.array([chain.predict(s.video).label for s in test])
+        direct_preds = np.array([direct.predict(s.video).label for s in test])
+        chain_acc = (chain_preds == labels).mean()
+        direct_acc = (direct_preds == labels).mean()
+        assert chain_acc >= direct_acc - 0.02, (
+            f"chain {chain_acc:.3f} vs direct {direct_acc:.3f}"
+        )
+
+    def test_trained_model_beats_offtheshelf(self, trained):
+        """Task training must beat the zero-shot generalist."""
+        model, __, __, test = trained
+        pipeline = StressChainPipeline(model)
+        gpt = load_offtheshelf("gpt-4o")
+        labels = test.labels
+        ours = np.array([pipeline.predict(s.video).label for s in test])
+        theirs = np.array([gpt.assess(s.video, None)[0] for s in test])
+        ours_metrics = evaluate_predictions(labels, ours)
+        theirs_metrics = evaluate_predictions(labels, theirs)
+        assert ours_metrics.accuracy > theirs_metrics.accuracy
+
+    def test_session_transcript_is_complete(self, trained):
+        model, __, __, test = trained
+        pipeline = StressChainPipeline(model)
+        result = pipeline.predict(test[0].video)
+        transcript = result.session.transcript()
+        assert "describe the subject's facial expressions" in transcript
+        assert "is the subject under stress" in transcript
+        assert "most influenced your stress assessment" in transcript
+
+
+class TestInterpretabilityPipeline:
+    def test_rationale_is_comparable_to_lime(self, trained):
+        """On the micro split the rationale's top-1 deletion drop must
+        be within reach of LIME's (the full-scale comparison is
+        benchmarks/test_table2_faithfulness.py)."""
+        model, __, __, test = trained
+        pipeline = StressChainPipeline(model)
+        samples = list(test)[:16]
+        factory = lambda s: chain_predict_fn(pipeline, s)  # noqa: E731
+        ours = deletion_metric(samples, rationale_ranker(pipeline), factory)
+        lime = deletion_metric(
+            samples,
+            explainer_ranker(LimeExplainer(num_samples=150)),
+            factory,
+        )
+        assert ours.drops[1] >= lime.drops[1] - 0.35
+
+    def test_rationale_segments_are_valid(self, trained):
+        model, __, __, test = trained
+        pipeline = StressChainPipeline(model)
+        for sample in list(test)[:5]:
+            result = pipeline.predict(sample.video)
+            labels = sample.video.segmentation(64)
+            ranking = result.rationale.model_segment_ranking(model, labels)
+            num_labels = int(labels.max()) + 1
+            assert all(0 <= seg < num_labels for seg in ranking)

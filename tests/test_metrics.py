@@ -1,0 +1,103 @@
+"""Tests for classification metrics and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.classification import (
+    ClassificationMetrics,
+    confusion_matrix,
+    evaluate_predictions,
+    mean_metrics,
+)
+from repro.metrics.reporting import format_table
+
+labels_strategy = st.lists(st.integers(0, 1), min_size=2, max_size=60)
+
+
+class TestConfusionMatrix:
+    def test_known_counts(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]),
+                                  np.array([0, 1, 1, 1]))
+        assert np.array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 1]))
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        metrics = evaluate_predictions(np.array([0, 1, 0, 1]),
+                                       np.array([0, 1, 0, 1]))
+        assert metrics.accuracy == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_known_macro_values(self):
+        y_true = np.array([0, 0, 0, 1])
+        y_pred = np.array([0, 0, 1, 1])
+        metrics = evaluate_predictions(y_true, y_pred)
+        assert metrics.accuracy == pytest.approx(0.75)
+        # class 0: P=1, R=2/3, F1=0.8; class 1: P=0.5, R=1, F1=2/3.
+        assert metrics.precision == pytest.approx(0.75)
+        assert metrics.recall == pytest.approx(5 / 6)
+        assert metrics.f1 == pytest.approx((0.8 + 2 / 3) / 2)
+
+    def test_degenerate_class_handled(self):
+        metrics = evaluate_predictions(np.array([0, 0]), np.array([0, 0]))
+        assert metrics.accuracy == 1.0
+        assert 0.0 <= metrics.f1 <= 1.0
+
+    @given(labels_strategy)
+    def test_accuracy_in_bounds(self, labels):
+        y = np.array(labels)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, size=y.size)
+        metrics = evaluate_predictions(y, predictions)
+        for value in (metrics.accuracy, metrics.precision,
+                      metrics.recall, metrics.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(labels_strategy)
+    def test_self_prediction_is_perfect(self, labels):
+        y = np.array(labels)
+        metrics = evaluate_predictions(y, y)
+        assert metrics.accuracy == 1.0
+
+
+class TestMeanMetrics:
+    def test_averages(self):
+        a = ClassificationMetrics(0.8, 0.8, 0.8, 0.8, 10)
+        b = ClassificationMetrics(0.6, 0.6, 0.6, 0.6, 10)
+        mean = mean_metrics([a, b])
+        assert mean.accuracy == pytest.approx(0.7)
+        assert mean.support == 20
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_metrics([])
+
+
+class TestFormatTable:
+    def test_renders_rows_and_percent(self):
+        text = format_table(
+            "T", ["Acc."], {"Ours": {"Acc.": 0.9581}}
+        )
+        assert "95.81%" in text
+        assert "Ours" in text
+
+    def test_missing_cell_blank(self):
+        text = format_table("T", ["Acc.", "F1."], {"M": {"Acc.": 0.5}})
+        assert "50.00%" in text
+
+    def test_non_percent_mode(self):
+        text = format_table("T", ["x"], {"M": {"x": 0.5}}, percent=False)
+        assert "0.5000" in text

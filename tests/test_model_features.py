@@ -1,0 +1,63 @@
+"""Tests for the model's visual feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.features import (
+    feature_dim,
+    keyframe_features,
+    patch_means,
+    video_features,
+)
+
+
+class TestPatchMeans:
+    def test_constant_frame(self):
+        out = patch_means(np.full((96, 96), 0.5))
+        assert out.shape == (144,)
+        assert np.allclose(out, 0.5)
+
+    def test_indivisible_frame_raises(self):
+        with pytest.raises(ModelError):
+            patch_means(np.zeros((97, 97)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ModelError):
+            patch_means(np.zeros((4, 4, 3)))
+
+    def test_localised_change_hits_one_patch(self):
+        frame = np.zeros((96, 96))
+        frame[0:8, 0:8] = 1.0
+        out = patch_means(frame)
+        assert out[0] == pytest.approx(1.0)
+        assert np.count_nonzero(out) == 1
+
+
+class TestKeyframeFeatures:
+    def test_dimension(self):
+        fe = np.full((96, 96), 0.6)
+        fl = np.full((96, 96), 0.4)
+        out = keyframe_features(fe, fl)
+        assert out.shape == (feature_dim(),)
+
+    def test_difference_channel_cancels_identity(self):
+        """A constant offset shared by both keyframes (identity or
+        lighting) must vanish from the difference channel."""
+        base = np.random.default_rng(0).random((96, 96)) * 0.2 + 0.4
+        fe = np.clip(base + 0.1, 0, 1)
+        fl = np.clip(base - 0.1, 0, 1)
+        offset_fe = np.clip(fe + 0.05, 0, 1)
+        offset_fl = np.clip(fl + 0.05, 0, 1)
+        diff1 = keyframe_features(fe, fl)[144:]
+        diff2 = keyframe_features(offset_fe, offset_fl)[144:]
+        assert np.allclose(diff1, diff2, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            keyframe_features(np.zeros((96, 96)), np.zeros((48, 48)))
+
+    def test_video_features(self, sample_video):
+        out = video_features(sample_video)
+        assert out.shape == (feature_dim(),)
+        assert np.isfinite(out).all()

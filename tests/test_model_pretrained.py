@@ -1,0 +1,64 @@
+"""Tests for the off-the-shelf vendor proxies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.pretrained import available_vendors, load_offtheshelf
+
+
+@pytest.fixture(scope="module")
+def gpt4o():
+    return load_offtheshelf("gpt-4o")
+
+
+class TestVendors:
+    def test_three_vendors(self):
+        assert set(available_vendors()) == {
+            "gpt-4o", "claude-3.5", "gemini-1.5"
+        }
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(ModelError):
+            load_offtheshelf("llama-9")
+
+    def test_cached_instance(self, gpt4o):
+        assert load_offtheshelf("gpt-4o") is gpt4o
+
+
+class TestFrozenBehaviour:
+    def test_frozen_flag(self, gpt4o):
+        assert gpt4o.frozen
+
+    def test_training_blocked(self, gpt4o):
+        with pytest.raises(ModelError):
+            gpt4o.backward_description(np.zeros(12))
+
+    def test_predictions_deterministic(self, gpt4o, sample_video):
+        a = gpt4o.assess(sample_video, None)
+        b = gpt4o.assess(sample_video, None)
+        assert a == b
+
+    def test_query_noise_differs_per_video(self, gpt4o, micro_uvsd):
+        """API-style noise is per-query but not constant."""
+        samples = list(micro_uvsd)[:6]
+        clean_logits, noisy_logits = [], []
+        for sample in samples:
+            noisy = gpt4o.assess_logit(sample.video, None)
+            noise_free = super(type(gpt4o), gpt4o).assess_logit(
+                sample.video, None
+            )
+            clean_logits.append(noise_free)
+            noisy_logits.append(noisy)
+        deltas = np.array(noisy_logits) - np.array(clean_logits)
+        assert deltas.std() > 0.1
+
+    def test_better_than_chance(self, gpt4o, micro_uvsd):
+        """Generic pre-training must transfer above chance zero-shot."""
+        samples = list(micro_uvsd)
+        predictions = np.array([
+            gpt4o.assess(s.video, None)[0] for s in samples
+        ])
+        labels = np.array([s.label for s in samples])
+        majority = max((labels == 0).mean(), (labels == 1).mean())
+        assert (predictions == labels).mean() > 0.55

@@ -1,0 +1,60 @@
+"""Tests for dialogue sessions and instruction objects."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.instructions import (
+    ALL_INSTRUCTIONS,
+    ASSESS_INSTRUCTION,
+    DESCRIBE_INSTRUCTION,
+    HIGHLIGHT_INSTRUCTION,
+    VERIFY_INSTRUCTION,
+)
+from repro.model.session import DialogueSession
+
+
+class TestInstructions:
+    def test_chain_instructions_exist(self):
+        for key in ("describe", "assess", "highlight", "verify",
+                    "reflect_description", "reflect_rationale",
+                    "direct_assess"):
+            assert key in ALL_INSTRUCTIONS
+
+    def test_prompts_are_nonempty(self):
+        for instruction in ALL_INSTRUCTIONS.values():
+            assert instruction.prompt.strip()
+
+    def test_str_is_prompt(self):
+        assert str(ASSESS_INSTRUCTION) == ASSESS_INSTRUCTION.prompt
+
+    def test_verify_prompt_is_template(self):
+        rendered = VERIFY_INSTRUCTION.prompt.format(
+            num_candidates=4, description="desc"
+        )
+        assert "4" in rendered and "desc" in rendered
+
+
+class TestDialogueSession:
+    def test_starts_fresh(self):
+        session = DialogueSession()
+        assert session.is_fresh
+        session.require_fresh("anything")  # no raise
+
+    def test_record_appends(self):
+        session = DialogueSession()
+        session.record(DESCRIBE_INSTRUCTION, "hello")
+        session.record(HIGHLIGHT_INSTRUCTION, "world")
+        assert len(session) == 2
+        assert not session.is_fresh
+
+    def test_require_fresh_raises_with_history(self):
+        session = DialogueSession()
+        session.record(DESCRIBE_INSTRUCTION, "x")
+        with pytest.raises(ModelError):
+            session.require_fresh("self-verification")
+
+    def test_transcript_interleaves(self):
+        session = DialogueSession()
+        session.record(DESCRIBE_INSTRUCTION, "answer-1")
+        transcript = session.transcript()
+        assert "[user]" in transcript and "[model] answer-1" in transcript

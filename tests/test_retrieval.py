@@ -1,0 +1,103 @@
+"""Tests for in-context retrieval encoders and retrievers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.retrieval import (
+    DescriptionEncoder,
+    DescriptionRetriever,
+    RandomRetriever,
+    VisionEncoder,
+    VisionRetriever,
+)
+from repro.retrieval.encoders import cosine_similarity
+
+
+class TestEncoders:
+    def test_vision_embedding_shape(self, micro_uvsd):
+        encoder = VisionEncoder(embed_dim=16)
+        out = encoder.encode(micro_uvsd[0].video)
+        assert out.shape == (16,)
+
+    def test_vision_deterministic(self, micro_uvsd):
+        video = micro_uvsd[0].video
+        encoder = VisionEncoder(seed=1)
+        assert np.array_equal(encoder.encode(video), encoder.encode(video))
+
+    def test_description_same_text_same_vector(self):
+        encoder = DescriptionEncoder()
+        a = encoder.encode("eyebrow raising and cheek raised")
+        b = encoder.encode("eyebrow raising and cheek raised")
+        assert np.array_equal(a, b)
+
+    def test_description_similarity_reflects_overlap(self):
+        encoder = DescriptionEncoder()
+        base = encoder.encode("inner eyebrows raising, upper lid raising")
+        close = encoder.encode("inner eyebrows raising, cheek raised")
+        far = encoder.encode("jaw dropping open, lips parting slightly")
+        assert cosine_similarity(base, close) > cosine_similarity(base, far)
+
+    def test_empty_text_is_zero_vector(self):
+        assert np.allclose(DescriptionEncoder().encode(""), 0.0)
+
+    def test_cosine_zero_vectors(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+
+@pytest.fixture(scope="module")
+def retriever_setup(trained):
+    model, __, train, test = trained
+    pool = list(train)[:40]
+    return model, pool, test
+
+
+class TestRetrievers:
+    def test_empty_pool_raises(self, retriever_setup):
+        model, __, __ = retriever_setup
+        with pytest.raises(ModelError):
+            RandomRetriever(model, [])
+
+    def test_random_is_deterministic_per_video(self, retriever_setup):
+        model, pool, test = retriever_setup
+        retriever = RandomRetriever(model, pool, seed=4)
+        video = test[0].video
+        query = model.describe(video)
+        a = retriever.retrieve(video, query)
+        b = retriever.retrieve(video, query)
+        assert [x.description for x in a] == [x.description for x in b]
+
+    def test_vision_retrieves_most_similar(self, retriever_setup):
+        model, pool, test = retriever_setup
+        retriever = VisionRetriever(model, pool, seed=0)
+        video = test[0].video
+        examples = retriever.retrieve(video, model.describe(video))
+        assert len(examples) == 1
+        assert examples[0].label in (0, 1)
+
+    def test_description_retrieval_prefers_matching_descriptions(
+        self, retriever_setup
+    ):
+        model, pool, test = retriever_setup
+        retriever = DescriptionRetriever(model, pool, seed=0)
+        video = test[0].video
+        query = model.describe(video)
+        examples = retriever.retrieve(video, query)
+        from repro.retrieval.encoders import DescriptionEncoder
+
+        encoder = DescriptionEncoder()
+        query_vec = encoder.encode(query.render())
+        best_sim = cosine_similarity(
+            query_vec, encoder.encode(examples[0].description.render())
+        )
+        # No pool entry may be strictly more similar than the retrieved one.
+        for pooled_desc in retriever._descriptions:
+            sim = cosine_similarity(query_vec,
+                                    encoder.encode(pooled_desc.render()))
+            assert sim <= best_sim + 1e-9
+
+    def test_num_examples_respected(self, retriever_setup):
+        model, pool, test = retriever_setup
+        retriever = RandomRetriever(model, pool, num_examples=3, seed=0)
+        video = test[0].video
+        assert len(retriever.retrieve(video, model.describe(video))) == 3

@@ -1,0 +1,23 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_unknown_experiment_raises(self, capsys):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["tableX", "--scale", "quick"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--scale", "gigantic"])
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig8" in out

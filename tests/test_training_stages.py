@@ -1,0 +1,184 @@
+"""Tests for the individual Algorithm-1 stages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.facs.descriptions import FacialDescription
+from repro.model.foundation import FoundationModel
+from repro.model.generation import GenerationConfig
+from repro.rng import make_rng
+from repro.training.faithfulness import rationale_flip_count
+from repro.training.helpfulness import helpfulness_score
+from repro.training.instruction_tuning import train_assess, train_describe
+from repro.training.reflection import propose_description, propose_rationales
+from repro.training.verification import verification_score
+
+
+class TestInstructionTuning:
+    def test_describe_loss_decreases(self, instruction_pairs):
+        model = FoundationModel(make_rng(1, "it"))
+        curve = train_describe(model, instruction_pairs[:60], epochs=60)
+        assert curve[-1] < curve[0] * 0.7
+
+    def test_describe_learns_aus(self, instruction_pairs):
+        model = FoundationModel(make_rng(2, "it2"))
+        train_describe(model, instruction_pairs[:100], epochs=120)
+        hits, total = 0, 0
+        for pair in instruction_pairs[100:110]:
+            predicted = model.describe(pair.video,
+                                       GenerationConfig(temperature=0))
+            hits += 12 - predicted.hamming_distance(pair.description)
+            total += 12
+        assert hits / total > 0.8
+
+    def test_describe_empty_raises(self):
+        model = FoundationModel(make_rng(3, "it3"))
+        with pytest.raises(TrainingError):
+            train_describe(model, [])
+
+    def test_assess_loss_decreases(self, micro_uvsd):
+        model = FoundationModel(make_rng(4, "it4"))
+        samples = list(micro_uvsd)[:60]
+        videos = [s.video for s in samples]
+        descriptions = [s.true_description() for s in samples]
+        labels = np.array([s.label for s in samples], dtype=float)
+        curve = train_assess(model, videos, descriptions, labels, epochs=80)
+        assert curve[-1] < curve[0]
+
+    def test_assess_handles_none_descriptions(self, micro_uvsd):
+        model = FoundationModel(make_rng(5, "it5"))
+        samples = list(micro_uvsd)[:40]
+        curve = train_assess(
+            model, [s.video for s in samples],
+            [None] * len(samples),
+            np.array([s.label for s in samples], dtype=float),
+            epochs=40,
+        )
+        assert np.isfinite(curve).all()
+
+    def test_assess_misaligned_raises(self, micro_uvsd):
+        model = FoundationModel(make_rng(6, "it6"))
+        with pytest.raises(TrainingError):
+            train_assess(model, [micro_uvsd[0].video], [], np.array([1.0]))
+
+
+class TestScores:
+    def test_helpfulness_bounds(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        description = sample.true_description()
+        score = helpfulness_score(model, sample.video, description,
+                                  sample.label, num_trials=5)
+        assert 0.0 <= score <= 1.0
+
+    def test_helpfulness_deterministic(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        description = sample.true_description()
+        a = helpfulness_score(model, sample.video, description,
+                              sample.label, num_trials=4, seed=9)
+        b = helpfulness_score(model, sample.video, description,
+                              sample.label, num_trials=4, seed=9)
+        assert a == b
+
+    def test_helpfulness_bad_trials_raises(self, trained):
+        model, __, train, __ = trained
+        with pytest.raises(ValueError):
+            helpfulness_score(model, train[0].video,
+                              FacialDescription((1,)), 1, num_trials=0)
+
+    def test_verification_true_description_beats_garbage(self, trained):
+        """The oracle description of a video should verify better than
+        a description of unrelated actions, on average."""
+        model, __, train, __ = trained
+        pool = [s.video for s in train]
+        true_scores, garbage_scores = [], []
+        for sample in list(train)[:8]:
+            truth = sample.true_description()
+            if not truth.au_ids:
+                continue
+            garbage = FacialDescription(tuple(
+                au for au in (1, 2, 4, 5, 6, 9, 12)
+                if au not in truth.au_ids
+            ))
+            true_scores.append(verification_score(
+                model, sample.video, truth, pool, num_trials=4
+            ))
+            garbage_scores.append(verification_score(
+                model, sample.video, garbage, pool, num_trials=4
+            ))
+        assert np.mean(true_scores) > np.mean(garbage_scores)
+
+    def test_verification_needs_pool(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        with pytest.raises(TrainingError):
+            verification_score(model, sample.video,
+                               sample.true_description(),
+                               [sample.video], num_trials=2)
+
+
+class TestFlipCount:
+    def test_bounds(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        description = model.describe(sample.video,
+                                     GenerationConfig(temperature=0))
+        if description.au_ids:
+            rationale = model.highlight(sample.video, description, 1)
+            count = rationale_flip_count(model, sample.video, description,
+                                         rationale)
+            assert 1 <= count <= len(rationale) + 1
+
+    def test_empty_rationale_scores_one(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        assert rationale_flip_count(model, sample.video,
+                                    FacialDescription(()), ()) == 1
+
+
+class TestReflection:
+    def test_propose_description_differs_over_rounds(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        previous = model.describe(sample.video,
+                                  GenerationConfig(temperature=0))
+        candidates = {
+            propose_description(model, sample.video, previous, i, seed=0,
+                                true_label=sample.label).au_ids
+            for i in range(6)
+        }
+        assert len(candidates) >= 1  # draws are valid descriptions
+
+    def test_propose_rationales_count(self, trained):
+        model, __, train, __ = trained
+        sample = train[0]
+        description = FacialDescription((1, 4, 6, 25))
+        rationales = propose_rationales(model, sample.video, description,
+                                        1, num_candidates=4, seed=0)
+        assert len(rationales) == 4
+        for rationale in rationales:
+            assert set(rationale) <= set(description.au_ids)
+
+    def test_reflection_uses_label_guidance(self, trained):
+        """With ground-truth guidance, reflected descriptions shift
+        along the assessment head's AU weights."""
+        model, __, train, __ = trained
+        sample = train[0]
+        previous = model.describe(sample.video,
+                                  GenerationConfig(temperature=0))
+        guided = [
+            propose_description(model, sample.video, previous, i, seed=1,
+                                true_label=1, use_reflection=True)
+            for i in range(6)
+        ]
+        unguided = [
+            propose_description(model, sample.video, previous, i, seed=1,
+                                true_label=None, use_reflection=False)
+            for i in range(6)
+        ]
+        weights = model.assess_au_weights()
+        def mean_evidence(descs):
+            return np.mean([d.to_vector() @ weights for d in descs])
+        assert mean_evidence(guided) >= mean_evidence(unguided) - 0.2

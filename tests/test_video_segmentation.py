@@ -1,0 +1,73 @@
+"""Tests for SLIC segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExplainerError
+from repro.video.segmentation import segment_masks, slic_segments
+
+
+def _gradient_image(size=48):
+    rows, cols = np.mgrid[0:size, 0:size]
+    return (rows + cols) / (2.0 * (size - 1))
+
+
+class TestSlic:
+    def test_label_map_shape(self):
+        labels = slic_segments(_gradient_image(), num_segments=16)
+        assert labels.shape == (48, 48)
+
+    def test_labels_contiguous_from_zero(self):
+        labels = slic_segments(_gradient_image(), num_segments=16)
+        unique = np.unique(labels)
+        assert unique[0] == 0
+        assert np.array_equal(unique, np.arange(unique.size))
+
+    def test_segment_count_near_target(self):
+        labels = slic_segments(_gradient_image(64), num_segments=64)
+        count = labels.max() + 1
+        assert 48 <= count <= 80
+
+    def test_segments_are_connected(self):
+        labels = slic_segments(_gradient_image(), num_segments=9)
+        for mask in segment_masks(labels):
+            assert _is_connected(mask)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ExplainerError):
+            slic_segments(np.zeros((4, 4, 3)))
+        with pytest.raises(ExplainerError):
+            slic_segments(_gradient_image(), num_segments=0)
+        with pytest.raises(ExplainerError):
+            slic_segments(np.zeros((4, 4)), num_segments=100)
+
+    def test_deterministic(self):
+        a = slic_segments(_gradient_image(), num_segments=16)
+        b = slic_segments(_gradient_image(), num_segments=16)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=4, max_value=30))
+    def test_every_pixel_labelled(self, num_segments):
+        labels = slic_segments(_gradient_image(), num_segments=num_segments)
+        assert labels.min() >= 0
+
+
+def _is_connected(mask: np.ndarray) -> bool:
+    rows, cols = np.where(mask)
+    if rows.size == 0:
+        return True
+    seen = np.zeros_like(mask, dtype=bool)
+    stack = [(rows[0], cols[0])]
+    seen[rows[0], cols[0]] = True
+    count = 1
+    while stack:
+        r, c = stack.pop()
+        for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            if (0 <= nr < mask.shape[0] and 0 <= nc < mask.shape[1]
+                    and mask[nr, nc] and not seen[nr, nc]):
+                seen[nr, nc] = True
+                count += 1
+                stack.append((nr, nc))
+    return count == rows.size
