@@ -22,7 +22,7 @@ from repro.cot.rationale import Rationale
 from repro.errors import ModelError
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import STRESSED, UNSTRESSED, FoundationModel
-from repro.model.generation import GenerationConfig
+from repro.model.generation import GREEDY, GenerationConfig
 from repro.model.session import DialogueSession
 from repro.nn.tensorops import sigmoid
 from repro.rng import derive_seed
@@ -107,7 +107,7 @@ class StressChainPipeline:
         description: FacialDescription | None = None
         if self.use_chain:
             description = self.model.describe(
-                video, GenerationConfig(temperature=0.0), session=session
+                video, GREEDY, session=session
             )
             if self.test_time_refine:
                 description = self._refine_description(video, description)
@@ -132,12 +132,9 @@ class StressChainPipeline:
         if highlight_desc is None:
             # w/o Chain still answers I3; it reads its greedy AU
             # estimate off the video when asked to point at cues.
-            highlight_desc = self.model.describe(
-                video, GenerationConfig(temperature=0.0)
-            )
+            highlight_desc = self.model.describe(video, GREEDY)
         rationale = Rationale(self.model.highlight(
-            video, highlight_desc, label,
-            GenerationConfig(temperature=0.0), session=session,
+            video, highlight_desc, label, GREEDY, session=session,
         ))
 
         elapsed = time.perf_counter() - start

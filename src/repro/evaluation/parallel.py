@@ -1,0 +1,176 @@
+"""Parallel execution backends for the evaluation stack.
+
+The cross-validation harness fans independent folds out over a
+configurable executor.  Three backends are provided:
+
+- ``"serial"`` -- a plain loop (the reference path);
+- ``"thread"`` -- a :class:`~concurrent.futures.ThreadPoolExecutor`,
+  useful when the fold work releases the GIL (NumPy kernels) or shares
+  large read-only state such as a frozen off-the-shelf model;
+- ``"process"`` -- a fork-based pool (POSIX only).  Children inherit
+  the parent's memory image, so arbitrary closures -- the fit
+  functions in :mod:`repro.evaluation.protocol` are closures -- run
+  without being picklable; only *results* cross the process boundary.
+
+Every backend evaluates exactly the same per-item computation and
+returns results in submission order, so outputs are bitwise-identical
+across backends and worker counts: parallelism changes *when* a fold
+runs, never *what* it computes.  Each fold derives its own seeds from
+its fold index, so no stream is shared across concurrently-running
+items.
+
+Worker count resolution: an explicit ``num_workers`` argument wins,
+then the ``REPRO_NUM_WORKERS`` environment variable, then the machine's
+CPU count.  The default backend may likewise be set with
+``REPRO_PARALLEL_BACKEND``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import traceback
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+#: Environment variable naming the default worker count.
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+#: Environment variable naming the default backend.
+BACKEND_ENV = "REPRO_PARALLEL_BACKEND"
+
+#: Recognised backend names.
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Pick the execution backend: explicit argument, then the
+    ``REPRO_PARALLEL_BACKEND`` environment variable, then serial."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "serial"
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown parallel backend {backend!r}; known: {BACKENDS}"
+        )
+    if backend == "process" and not hasattr(os, "fork"):
+        # Fork is the mechanism that lets closures cross into workers;
+        # without it the honest fallback is threads.
+        return "thread"
+    return backend
+
+
+def resolve_num_workers(num_workers: int | None = None) -> int:
+    """Pick the worker count: explicit argument, then the
+    ``REPRO_NUM_WORKERS`` environment variable, then the CPU count."""
+    if num_workers is None:
+        env = os.environ.get(NUM_WORKERS_ENV)
+        if env is not None:
+            try:
+                num_workers = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"{NUM_WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            num_workers = os.cpu_count() or 1
+    if num_workers < 1:
+        raise ConfigError(f"num_workers must be positive, got {num_workers}")
+    return num_workers
+
+
+def parallel_map(
+    fn: Callable[[Any], T],
+    items: Sequence[Any],
+    backend: str | None = None,
+    num_workers: int | None = None,
+) -> list[T]:
+    """Apply ``fn`` to every item, possibly concurrently.
+
+    Results come back in item order regardless of completion order.
+    A worker exception is re-raised in the caller (for the process
+    backend, with the child's traceback attached).
+    """
+    backend = resolve_backend(backend)
+    items = list(items)
+    if not items:
+        return []
+    workers = min(resolve_num_workers(num_workers), len(items))
+    if backend == "serial" or workers == 1:
+        return [fn(item) for item in items]
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    return _fork_map(fn, items, workers)
+
+
+def _fork_map(fn: Callable[[Any], T], items: list[Any],
+              num_workers: int) -> list[T]:
+    """Fork-based process map.
+
+    Items are dealt round-robin to ``num_workers`` forked children.
+    Each child inherits the full parent image (so ``fn`` may be any
+    closure), computes its share, and pickles the results to a
+    temporary file the parent reads back after ``waitpid``.  Files
+    rather than pipes, so result size never deadlocks on a pipe
+    buffer.
+    """
+    shares = [list(range(w, len(items), num_workers))
+              for w in range(num_workers)]
+    workers: list[tuple[int, str, list[int]]] = []
+    try:
+        for share in shares:
+            fd, path = tempfile.mkstemp(prefix="repro-fork-", suffix=".pkl")
+            os.close(fd)
+            pid = os.fork()
+            if pid == 0:  # child
+                status = 1
+                try:
+                    payload: tuple[bool, Any]
+                    try:
+                        payload = (True, [fn(items[i]) for i in share])
+                        status = 0
+                    except BaseException:
+                        payload = (False, traceback.format_exc())
+                    with open(path, "wb") as handle:
+                        pickle.dump(payload, handle)
+                finally:
+                    # Never run parent cleanup (atexit, finally blocks
+                    # up-stack) inside the child.
+                    os._exit(status)
+            workers.append((pid, path, share))
+
+        results: list[T | None] = [None] * len(items)
+        failures: list[str] = []
+        for pid, path, share in workers:
+            __, status = os.waitpid(pid, 0)
+            try:
+                with open(path, "rb") as handle:
+                    ok, payload = pickle.load(handle)
+            except (EOFError, pickle.UnpicklingError):
+                failures.append(
+                    f"worker {pid} died without writing results "
+                    f"(exit status {status})"
+                )
+                continue
+            if ok:
+                for index, result in zip(share, payload):
+                    results[index] = result
+            else:
+                failures.append(payload)
+        if failures:
+            raise RuntimeError(
+                "parallel worker failed:\n" + "\n".join(failures)
+            )
+        return results  # type: ignore[return-value]
+    finally:
+        for __, path, __ in workers:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass

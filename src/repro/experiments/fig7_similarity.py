@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentOptions, eval_subset, trained_model
 from repro.experiments.result import ExperimentResult
-from repro.model.generation import GenerationConfig
+from repro.model.generation import GREEDY
 from repro.retrieval.encoders import (
     DescriptionEncoder,
     VisionEncoder,
@@ -36,7 +36,7 @@ def run(options: ExperimentOptions | None = None) -> ExperimentResult:
 
     pool = list(train)[: min(len(train), 150)]
     pool_descs = [
-        model.describe(s.video, GenerationConfig(temperature=0.0))
+        model.describe(s.video, GREEDY)
         for s in pool
     ]
     pool_vis = [vision.encode(s.video) for s in pool]
@@ -45,8 +45,7 @@ def run(options: ExperimentOptions | None = None) -> ExperimentResult:
     queries = eval_subset(test, min(20, options.scale.eval_samples))
     gaps = {"vision": [], "description": []}
     for sample in queries:
-        query_desc = model.describe(sample.video,
-                                    GenerationConfig(temperature=0.0))
+        query_desc = model.describe(sample.video, GREEDY)
         query_vis = vision.encode(sample.video)
         query_txt = text.encode(query_desc.render())
         helpful_vis, unhelpful_vis = [], []

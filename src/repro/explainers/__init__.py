@@ -10,7 +10,12 @@ top-k deletion metric of Table II and
 Figure 6.
 """
 
-from repro.explainers.base import Explainer, SegmentAttribution
+from repro.explainers.base import (
+    BatchPredictFn,
+    Explainer,
+    SegmentAttribution,
+    predict_batch,
+)
 from repro.explainers.evaluation import (
     DeletionResult,
     chain_predict_fn,
@@ -26,6 +31,7 @@ from repro.explainers.sobol import SobolExplainer
 from repro.explainers.timing import time_explainers
 
 __all__ = [
+    "BatchPredictFn",
     "DeletionResult",
     "Explainer",
     "KernelShapExplainer",
@@ -37,6 +43,7 @@ __all__ = [
     "chain_predict_fn",
     "deletion_metric",
     "explainer_ranker",
+    "predict_batch",
     "rationale_ranker",
     "time_explainers",
 ]

@@ -5,6 +5,12 @@ to the SLIC segments of the most-expressive frame.  The model is a
 black box reached only through ``predict_fn(frame) -> float`` -- the
 explainers never see weights, which is the premise of the paper's
 efficiency comparison (each perturbation costs a full model call).
+
+The black box may additionally expose a vectorized ``batch`` method
+(:class:`BatchPredictFn`); explainers submit their whole perturbation
+stack through :func:`predict_batch`, which uses the vectorized path
+when present and falls back to a per-frame loop otherwise, so plain
+callables keep working unchanged.
 """
 
 from __future__ import annotations
@@ -19,6 +25,52 @@ from repro.errors import ExplainerError
 
 #: A black-box prediction function over (possibly perturbed) frames.
 PredictFn = Callable[[np.ndarray], float]
+
+
+class BatchPredictFn:
+    """A black box with both a single-frame and a vectorized path.
+
+    Calling it on one ``(H, W)`` frame returns a float, so it is a
+    drop-in :data:`PredictFn`; :meth:`batch` scores a ``(N, H, W)``
+    stack in one model pass.  Explainers reach both through
+    :func:`predict_batch` and never need to know which they got.
+    """
+
+    def __init__(self, single: PredictFn,
+                 batch: Callable[[np.ndarray], np.ndarray]):
+        self._single = single
+        self._batch = batch
+
+    def __call__(self, frame: np.ndarray) -> float:
+        return float(self._single(frame))
+
+    def batch(self, frames: np.ndarray) -> np.ndarray:
+        return np.asarray(self._batch(frames), dtype=np.float64)
+
+
+def predict_batch(predict_fn: PredictFn, frames: np.ndarray) -> np.ndarray:
+    """Evaluate ``predict_fn`` on a ``(N, H, W)`` frame stack.
+
+    Uses the black box's vectorized ``batch`` method when it has one;
+    otherwise loops frame-by-frame (the single-frame fallback adapter,
+    so any plain callable remains a valid black box).  Returns a
+    float64 vector of length ``N``.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ExplainerError(
+            f"expected a (N, H, W) frame stack, got shape {frames.shape}"
+        )
+    batch = getattr(predict_fn, "batch", None)
+    if batch is not None:
+        out = np.asarray(batch(frames), dtype=np.float64)
+        if out.shape != (len(frames),):
+            raise ExplainerError(
+                f"batch predict returned shape {out.shape}, "
+                f"expected ({len(frames)},)"
+            )
+        return out
+    return np.array([float(predict_fn(frame)) for frame in frames])
 
 
 @dataclass(frozen=True)

@@ -20,13 +20,21 @@ import numpy as np
 from repro.cot.chain import StressChainPipeline
 from repro.datasets.base import Sample
 from repro.errors import ExplainerError
-from repro.explainers.base import Explainer, PredictFn
+from repro.explainers.base import (
+    BatchPredictFn,
+    Explainer,
+    PredictFn,
+    predict_batch,
+)
 from repro.rng import derive_seed, make_rng
 from repro.video.perturb import gaussian_perturb_segments
 
-#: A ranker: (sample, expressive_frame, segment_labels, predict_fn)
-#: -> ranked segment ids (best first).
-Ranker = Callable[[Sample, np.ndarray, np.ndarray, PredictFn], list[int]]
+#: A ranker: (sample, expressive_frame, segment_labels, predict_fn,
+#: base_prob) -> ranked segment ids (best first).  ``base_prob`` is the
+#: model's probability on the clean frame, which the deletion metric
+#: has already computed -- rankers reuse it instead of re-querying.
+Ranker = Callable[[Sample, np.ndarray, np.ndarray, PredictFn, float],
+                  list[int]]
 
 
 @dataclass(frozen=True)
@@ -47,16 +55,23 @@ class DeletionResult:
 
 
 def chain_predict_fn(pipeline: StressChainPipeline,
-                     sample: Sample) -> PredictFn:
+                     sample: Sample) -> BatchPredictFn:
     """Black-box over the full chain: perturbed expressive frame ->
     re-describe -> assess.  The neutral keyframe stays clean (only
-    ``f_e`` is segmented and perturbed in the paper's protocol)."""
+    ``f_e`` is segmented and perturbed in the paper's protocol).
+
+    The returned black box carries both the single-frame path and the
+    vectorized ``batch`` path, so explainers score their whole
+    perturbation stack in one model pass.
+    """
     __, neutral = sample.video.keyframes
+    model = pipeline.model
 
-    def predict(frame: np.ndarray) -> float:
-        return pipeline.model.chain_prob_from_frames(frame, neutral)
-
-    return predict
+    return BatchPredictFn(
+        single=lambda frame: model.chain_prob_from_frames(frame, neutral),
+        batch=lambda frames: model.chain_prob_from_frames_batch(frames,
+                                                                neutral),
+    )
 
 
 def explainer_ranker(explainer: Explainer, seed: int = 0) -> Ranker:
@@ -68,13 +83,13 @@ def explainer_ranker(explainer: Explainer, seed: int = 0) -> Ranker:
     """
 
     def rank(sample: Sample, frame: np.ndarray, labels: np.ndarray,
-             predict_fn: PredictFn) -> list[int]:
+             predict_fn: PredictFn, base_prob: float) -> list[int]:
         attribution = explainer.attribute(
             frame, labels, predict_fn,
             seed=derive_seed(seed, f"attr:{sample.sample_id}"),
         )
         scores = attribution.scores
-        if predict_fn(frame) < 0.5:
+        if base_prob < 0.5:
             scores = -scores
         return [int(i) for i in np.argsort(-scores, kind="stable")]
 
@@ -91,7 +106,7 @@ def rationale_ranker(pipeline: StressChainPipeline) -> Ranker:
     """
 
     def rank(sample: Sample, frame: np.ndarray, labels: np.ndarray,
-             predict_fn: PredictFn) -> list[int]:
+             predict_fn: PredictFn, base_prob: float) -> list[int]:
         result = pipeline.predict(sample.video)
         for per_au in (1, 2, 3):
             ranking = result.rationale.model_segment_ranking(
@@ -128,22 +143,29 @@ def deletion_metric(
         expressive, __ = sample.video.keyframes
         labels = sample.video.segmentation(num_segments)
         predict_fn = predict_fn_factory(sample)
-        base_pred = int(predict_fn(expressive) > 0.5)
+        base_prob = float(predict_fn(expressive))
+        base_pred = int(base_prob > 0.5)
         base_hits += int(base_pred == sample.label)
-        ranking = ranker(sample, expressive, labels, predict_fn)
+        ranking = ranker(sample, expressive, labels, predict_fn, base_prob)
         if not ranking:
             # Nothing highlighted: perturbation is a no-op.
             for k in ks:
                 hits_after[k] += int(base_pred == sample.label)
             continue
         rng = make_rng(seed, f"deletion:{sample.sample_id}")
-        for k in ks:
-            perturbed = gaussian_perturb_segments(
+        # One batched model pass over all top-k perturbations of this
+        # sample (noise draws stay sequential in k, preserving the
+        # serial path's RNG stream bit-for-bit).
+        perturbed = np.stack([
+            gaussian_perturb_segments(
                 expressive, labels, ranking[:k], rng,
                 noise_scale=noise_scale,
             )
-            pred = int(predict_fn(perturbed) > 0.5)
-            hits_after[k] += int(pred == sample.label)
+            for k in ks
+        ])
+        preds = predict_batch(predict_fn, perturbed) > 0.5
+        for k, pred in zip(ks, preds):
+            hits_after[k] += int(int(pred) == sample.label)
     count = len(samples)
     return DeletionResult(
         base_accuracy=base_hits / count,

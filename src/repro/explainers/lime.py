@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
+from repro.explainers.base import (
+    Explainer,
+    PredictFn,
+    SegmentAttribution,
+    predict_batch,
+)
 from repro.rng import make_rng
-from repro.video.perturb import apply_mask
+from repro.video.perturb import apply_masks_batch
 
 
 class LimeExplainer(Explainer):
@@ -50,9 +55,9 @@ class LimeExplainer(Explainer):
         masks = (rng.random((self.num_samples, num_segments))
                  < self.keep_prob).astype(np.float64)
         masks[0, :] = 1.0  # always include the unperturbed instance
-        predictions = np.array([
-            predict_fn(apply_mask(frame, labels, mask)) for mask in masks
-        ])
+        predictions = predict_batch(
+            predict_fn, apply_masks_batch(frame, labels, masks)
+        )
         # Cosine distance to the all-ones mask -> locality weights.
         ones = np.ones(num_segments)
         norms = np.linalg.norm(masks, axis=1) * np.linalg.norm(ones)

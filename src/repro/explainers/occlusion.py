@@ -10,8 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
-from repro.video.perturb import zero_segments
+from repro.explainers.base import (
+    Explainer,
+    PredictFn,
+    SegmentAttribution,
+    predict_batch,
+)
+from repro.video.perturb import zero_segments_batch
 
 
 class OcclusionExplainer(Explainer):
@@ -22,11 +27,14 @@ class OcclusionExplainer(Explainer):
     def attribute(self, frame: np.ndarray, labels: np.ndarray,
                   predict_fn: PredictFn, seed: int = 0) -> SegmentAttribution:
         num_segments = self._num_segments(labels)
-        base = predict_fn(frame)
-        scores = np.zeros(num_segments)
-        for segment in range(num_segments):
-            blanked = zero_segments(frame, labels, [segment])
-            scores[segment] = base - predict_fn(blanked)
+        # The clean frame and every single-segment blank go through the
+        # model as one stack.
+        stack = np.concatenate([
+            frame[np.newaxis, :, :], zero_segments_batch(frame, labels)
+        ])
+        outputs = predict_batch(predict_fn, stack)
+        base = float(outputs[0])
+        scores = base - outputs[1:]
         # Attribution of evidence *for* the predicted class: flip sign
         # when the model predicts unstressed so "supports the decision"
         # is always positive.

@@ -14,9 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
+from repro.explainers.base import (
+    Explainer,
+    PredictFn,
+    SegmentAttribution,
+    predict_batch,
+)
 from repro.rng import make_rng
-from repro.video.perturb import apply_mask
+from repro.video.perturb import apply_masks_batch
 
 
 class RiseExplainer(Explainer):
@@ -46,9 +51,9 @@ class RiseExplainer(Explainer):
         rng = make_rng(seed, "rise")
         masks = (rng.random((self.num_samples, num_segments))
                  < self.keep_prob).astype(np.float64)
-        predictions = np.array([
-            predict_fn(apply_mask(frame, labels, mask)) for mask in masks
-        ])
+        predictions = predict_batch(
+            predict_fn, apply_masks_batch(frame, labels, masks)
+        )
         mean_output = predictions.mean()
         visible_counts = masks.sum(axis=0)
         visible_counts[visible_counts == 0] = 1.0

@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
+from repro.explainers.base import (
+    Explainer,
+    PredictFn,
+    SegmentAttribution,
+    predict_batch,
+)
 from repro.rng import make_rng
-from repro.video.perturb import apply_mask
+from repro.video.perturb import apply_masks_batch
 
 
 class KernelShapExplainer(Explainer):
@@ -57,13 +62,15 @@ class KernelShapExplainer(Explainer):
             on = rng.choice(num_segments, size=size, replace=False)
             masks[i, on] = 1.0
 
-        base = predict_fn(apply_mask(frame, labels,
-                                     np.zeros(num_segments)))
-        full = predict_fn(apply_mask(frame, labels,
-                                     np.ones(num_segments)))
-        predictions = np.array([
-            predict_fn(apply_mask(frame, labels, mask)) for mask in masks
-        ])
+        # The two deterministic endpoints ride along in the same batch
+        # as the sampled coalitions: one model pass for everything.
+        endpoints = np.vstack([np.zeros(num_segments), np.ones(num_segments)])
+        outputs = predict_batch(
+            predict_fn,
+            apply_masks_batch(frame, labels, np.vstack([endpoints, masks])),
+        )
+        base, full = float(outputs[0]), float(outputs[1])
+        predictions = outputs[2:]
 
         coalition_sizes = masks.sum(axis=1).astype(int)
         kernel = (num_segments - 1) / (

@@ -19,7 +19,12 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import qmc
 
-from repro.explainers.base import Explainer, PredictFn, SegmentAttribution
+from repro.explainers.base import (
+    Explainer,
+    PredictFn,
+    SegmentAttribution,
+    predict_batch,
+)
 from repro.rng import derive_seed
 
 
@@ -53,29 +58,37 @@ class SobolExplainer(Explainer):
         a_masks = designs[:, :num_segments]
         b_masks = designs[:, num_segments:]
 
-        def evaluate(mask: np.ndarray) -> float:
-            return predict_fn(self._fade(frame, labels, mask))
-
-        f_a = np.array([evaluate(mask) for mask in a_masks])
-        f_b = np.array([evaluate(mask) for mask in b_masks])
+        base_eval = predict_batch(
+            predict_fn, self._fade(frame, labels, np.vstack([a_masks, b_masks]))
+        )
+        f_a = base_eval[: self.num_designs]
+        f_b = base_eval[self.num_designs:]
         evaluations = 2 * self.num_designs
 
+        # All N*d hybrid design points go through the model in one
+        # batch: hybrid block i is A with column i taken from B.
+        hybrids = np.repeat(a_masks[np.newaxis, :, :], num_segments, axis=0)
+        hybrids[np.arange(num_segments), :, np.arange(num_segments)] = \
+            b_masks.T
+        f_hybrid = predict_batch(
+            predict_fn,
+            self._fade(frame, labels,
+                       hybrids.reshape(num_segments * self.num_designs,
+                                       num_segments)),
+        ).reshape(num_segments, self.num_designs)
+        evaluations += num_segments * self.num_designs
+
         total_variance = np.var(np.concatenate([f_a, f_b]))
-        scores = np.zeros(num_segments)
-        for i in range(num_segments):
-            hybrid = a_masks.copy()
-            hybrid[:, i] = b_masks[:, i]
-            f_hybrid = np.array([evaluate(mask) for mask in hybrid])
-            evaluations += self.num_designs
-            scores[i] = np.mean((f_a - f_hybrid) ** 2) / (
-                2.0 * total_variance + 1e-12
-            )
+        scores = np.mean((f_a[np.newaxis, :] - f_hybrid) ** 2, axis=1) / (
+            2.0 * total_variance + 1e-12
+        )
         return SegmentAttribution(
             scores=scores, num_evaluations=evaluations, explainer=self.name
         )
 
     def _fade(self, frame: np.ndarray, labels: np.ndarray,
-              mask: np.ndarray) -> np.ndarray:
-        """Blend each segment toward the baseline by ``1 - mask_i``."""
-        alpha = mask[labels]
+              masks: np.ndarray) -> np.ndarray:
+        """Blend each segment toward the baseline by ``1 - mask_i``,
+        for a ``(N, S)`` mask matrix -> ``(N, H, W)`` frame stack."""
+        alpha = masks[:, labels]
         return self.baseline + alpha * (frame - self.baseline)

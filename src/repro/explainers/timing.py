@@ -22,7 +22,6 @@ from repro.datasets.base import Sample
 from repro.explainers.base import Explainer
 from repro.explainers.evaluation import chain_predict_fn
 from repro.rng import derive_seed
-from repro.video.segmentation import slic_segments
 
 
 @dataclass(frozen=True)
@@ -65,7 +64,9 @@ def time_explainers(
         total_evals = 0
         for sample in samples:
             expressive, __ = sample.video.keyframes
-            labels = slic_segments(expressive, num_segments)
+            # Memoized on the video: every explainer (and the deletion
+            # metric) shares one SLIC run per frame.
+            labels = sample.video.segmentation(num_segments)
             predict_fn = chain_predict_fn(pipeline, sample)
             attribution = explainer.attribute(
                 expressive, labels, predict_fn,

@@ -54,6 +54,53 @@ def keyframe_features(expressive: np.ndarray, neutral: np.ndarray,
     ])
 
 
+def patch_means_batch(frames: np.ndarray,
+                      grid: int = PATCH_GRID) -> np.ndarray:
+    """Per-frame patch means for a ``(N, H, W)`` frame stack.
+
+    One reshape-and-reduce over the whole stack; row ``i`` equals
+    ``patch_means(frames[i], grid)``.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ModelError(
+            f"expected a (N, H, W) frame stack, got shape {frames.shape}"
+        )
+    num, height, width = frames.shape
+    if height % grid or width % grid:
+        raise ModelError(
+            f"frame shape {frames.shape[1:]} not divisible into a "
+            f"{grid}x{grid} grid"
+        )
+    ph, pw = height // grid, width // grid
+    patches = frames.reshape(num, grid, ph, grid, pw)
+    return patches.mean(axis=(2, 4)).reshape(num, grid * grid)
+
+
+def keyframe_features_batch(expressive: np.ndarray, neutral: np.ndarray,
+                            grid: int = PATCH_GRID) -> np.ndarray:
+    """Feature matrix for a stack of (possibly perturbed) expressive
+    frames against one clean neutral frame, shape ``(N, feature_dim)``.
+
+    Row ``i`` equals ``keyframe_features(expressive[i], neutral, grid)``;
+    this is the vectorized entry point the batched prediction engine
+    uses to score hundreds of perturbations in one NumPy pass.
+    """
+    expressive = np.asarray(expressive, dtype=np.float64)
+    if expressive.ndim != 3:
+        raise ModelError(
+            f"expected a (N, H, W) frame stack, got shape {expressive.shape}"
+        )
+    if expressive.shape[1:] != neutral.shape:
+        raise ModelError("keyframes must have identical shapes")
+    expressive_means = patch_means_batch(expressive, grid)
+    neutral_means = patch_means(neutral, grid)
+    return np.concatenate([
+        (expressive_means - 0.5) * _FEATURE_GAIN,
+        (expressive_means - neutral_means[np.newaxis, :]) * _FEATURE_GAIN,
+    ], axis=1)
+
+
 def feature_dim(grid: int = PATCH_GRID) -> int:
     """Dimensionality of :func:`keyframe_features` output."""
     return 2 * grid * grid

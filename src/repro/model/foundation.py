@@ -28,8 +28,14 @@ import numpy as np
 from repro.errors import ModelError
 from repro.facs.action_units import AU_IDS, NUM_AUS, au_index
 from repro.facs.descriptions import FacialDescription
-from repro.model.features import feature_dim, keyframe_features, video_features
+from repro.model.features import (
+    feature_dim,
+    keyframe_features,
+    keyframe_features_batch,
+    video_features,
+)
 from repro.model.generation import (
+    GREEDY,
     GenerationConfig,
     bernoulli_set_logprob,
     plackett_luce_logprob,
@@ -246,6 +252,54 @@ class FoundationModel(Module):
             self.assess_head.forward(self._assess_input(features, description))[0, 0]
         )
 
+    def frame_pair_features_batch(self, expressive: np.ndarray,
+                                  neutral: np.ndarray) -> np.ndarray:
+        """Features of a ``(N, H, W)`` stack of (possibly perturbed)
+        expressive frames against one clean neutral frame."""
+        return keyframe_features_batch(expressive, neutral, self.grid)
+
+    def au_logits_from_frames_batch(self, expressive: np.ndarray,
+                                    neutral: np.ndarray) -> np.ndarray:
+        """Per-AU logits for a stack of keyframe pairs, shape (N, 12)."""
+        features = self.frame_pair_features_batch(expressive, neutral)
+        return self.au_head.forward(self.trunk.forward(features))
+
+    def assess_logit_from_frames_batch(
+        self, expressive: np.ndarray, neutral: np.ndarray,
+        descriptions: np.ndarray | list[FacialDescription | None] | None,
+    ) -> np.ndarray:
+        """Stress logits for a stack of keyframe pairs, shape (N,).
+
+        ``descriptions`` is a per-frame description -- an ``(N, 12)``
+        AU-vector matrix, a list of :class:`FacialDescription` (or
+        ``None`` for the direct query), or ``None`` for all-direct.
+        """
+        features = self.frame_pair_features_batch(expressive, neutral)
+        embed = self.trunk.forward(features)
+        desc_matrix = _description_matrix(descriptions, len(embed))
+        return self.assess_head.forward(
+            np.concatenate([embed, desc_matrix], axis=1)
+        )[:, 0]
+
+    def chain_prob_from_frames_batch(self, expressive: np.ndarray,
+                                     neutral: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`chain_prob_from_frames`: greedy-describe
+        and assess a whole stack of perturbed frames in one NumPy pass.
+
+        This is the batched engine behind the post-hoc explainers and
+        the deletion metric -- feature extraction, the AU heads and the
+        assessment head each run once over the stack instead of once
+        per frame.  Returns stress probabilities, shape (N,).
+        """
+        features = self.frame_pair_features_batch(expressive, neutral)
+        embed = self.trunk.forward(features)
+        au_logits = self.au_head.forward(embed)
+        desc_matrix = (au_logits > 0).astype(np.float64)
+        logits = self.assess_head.forward(
+            np.concatenate([embed, desc_matrix], axis=1)
+        )[:, 0]
+        return sigmoid(logits)
+
     def assess(self, video: Video, description: FacialDescription | None,
                config: GenerationConfig | None = None,
                session: DialogueSession | None = None) -> tuple[int, float]:
@@ -255,7 +309,7 @@ class FoundationModel(Module):
         temperature draws the label from the tempered Bernoulli, which
         is what the paper's K-seed helpfulness scoring repeats.
         """
-        config = config or GenerationConfig(temperature=0.0)
+        config = config or GREEDY
         logit = self.assess_logit(video, description)
         prob = float(sigmoid(np.array(logit))[()])
         if config.temperature == 0.0:
@@ -339,7 +393,7 @@ class FoundationModel(Module):
             raise ModelError(f"assessment must be 0 or 1, got {assessment}")
         if not description.au_ids:
             return ()
-        config = config or GenerationConfig(temperature=0.0)
+        config = config or GREEDY
         active = [au_index(au_id) for au_id in description.au_ids]
         scores = self.highlight_scores(video, description, assessment)[active]
         ordering = sample_plackett_luce(scores, config, top_k=top_k)
@@ -504,6 +558,32 @@ class FoundationModel(Module):
         clone = self.copy()
         clone._feature_cache = dict(self._feature_cache)
         return clone
+
+
+def _description_matrix(
+    descriptions: np.ndarray | list[FacialDescription | None] | None,
+    num_rows: int,
+) -> np.ndarray:
+    """Normalise the per-frame description argument of the batched
+    assess path to an ``(N, 12)`` AU-vector matrix."""
+    if descriptions is None:
+        return np.zeros((num_rows, NUM_AUS))
+    if isinstance(descriptions, np.ndarray):
+        if descriptions.shape != (num_rows, NUM_AUS):
+            raise ModelError(
+                f"description matrix must be ({num_rows}, {NUM_AUS}), "
+                f"got {descriptions.shape}"
+            )
+        return descriptions.astype(np.float64, copy=False)
+    if len(descriptions) != num_rows:
+        raise ModelError(
+            f"need one description per frame ({num_rows}), "
+            f"got {len(descriptions)}"
+        )
+    return np.stack([
+        desc.to_vector() if desc is not None else np.zeros(NUM_AUS)
+        for desc in descriptions
+    ])
 
 
 def _render_rationale(rationale: tuple[int, ...]) -> str:

@@ -35,6 +35,12 @@ class GenerationConfig:
             raise GenerationError("temperature must be non-negative")
 
 
+#: Shared greedy-decoding config.  :class:`GenerationConfig` is frozen,
+#: so one instance serves every call site that would otherwise build a
+#: fresh ``GenerationConfig(temperature=0.0)`` inside a hot loop.
+GREEDY = GenerationConfig(temperature=0.0)
+
+
 def sample_bernoulli_set(logits: np.ndarray,
                          config: GenerationConfig) -> np.ndarray:
     """Sample a binary vector from per-element Bernoulli(sigmoid(logit)).
@@ -89,18 +95,27 @@ def sample_plackett_luce(scores: np.ndarray, config: GenerationConfig,
 def plackett_luce_logprob(scores: np.ndarray,
                           ordering: tuple[int, ...]) -> float:
     """Exact log-probability of a (possibly partial) ordering under
-    Plackett-Luce at temperature 1."""
+    Plackett-Luce at temperature 1.
+
+    Tracks the not-yet-chosen items with a boolean mask instead of a
+    Python list, so each step costs one vectorized pass rather than the
+    ``list.index``/``list.remove`` scans of the naive implementation.
+    The masked view preserves ascending index order, so the per-step
+    softmax sees exactly the arrays the list version would -- the
+    result is numerically identical.
+    """
     scores = np.asarray(scores, dtype=np.float64)
-    remaining = list(range(scores.size))
+    alive = np.ones(scores.size, dtype=bool)
     total = 0.0
     for index in ordering:
-        if index not in remaining:
+        if not 0 <= index < scores.size or not alive[index]:
             raise GenerationError(
                 f"index {index} repeated or out of range in ordering"
             )
-        weights = softmax(scores[remaining])
-        total += float(np.log(weights[remaining.index(index)] + 1e-300))
-        remaining.remove(index)
+        weights = softmax(scores[alive])
+        position = int(np.count_nonzero(alive[:index]))
+        total += float(np.log(weights[position] + 1e-300))
+        alive[index] = False
     return total
 
 
@@ -109,11 +124,13 @@ def plackett_luce_logprob_grad(scores: np.ndarray,
     """Gradient of :func:`plackett_luce_logprob` w.r.t. the scores."""
     scores = np.asarray(scores, dtype=np.float64)
     grad = np.zeros_like(scores)
-    remaining = list(range(scores.size))
+    alive = np.ones(scores.size, dtype=bool)
     for index in ordering:
-        weights = softmax(scores[remaining])
-        for pos, j in enumerate(remaining):
-            grad[j] -= weights[pos]
+        if not 0 <= index < scores.size or not alive[index]:
+            raise GenerationError(
+                f"index {index} repeated or out of range in ordering"
+            )
+        grad[alive] -= softmax(scores[alive])
         grad[index] += 1.0
-        remaining.remove(index)
+        alive[index] = False
     return grad

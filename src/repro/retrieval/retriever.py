@@ -19,7 +19,7 @@ from repro.datasets.base import Sample
 from repro.errors import ModelError
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import FoundationModel
-from repro.model.generation import GenerationConfig
+from repro.model.generation import GREEDY
 from repro.retrieval.encoders import (
     DescriptionEncoder,
     VisionEncoder,
@@ -47,7 +47,7 @@ class Retriever(ABC):
         self.seed = seed
         self._pool = pool
         self._descriptions = [
-            model.describe(sample.video, GenerationConfig(temperature=0.0))
+            model.describe(sample.video, GREEDY)
             for sample in pool
         ]
         self._labels = [sample.label for sample in pool]

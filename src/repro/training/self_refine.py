@@ -34,7 +34,7 @@ from repro.datasets.instruction import InstructionPair
 from repro.errors import TrainingError
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import FoundationModel
-from repro.model.generation import GenerationConfig
+from repro.model.generation import GREEDY, GenerationConfig
 from repro.rng import derive_seed
 from repro.training.dpo import (
     DescriptionPreference,
@@ -255,9 +255,7 @@ class SelfRefineTrainer:
             if description is None:
                 # w/o Chain still highlights: it reads its own greedy AU
                 # estimate off the video at rationale time.
-                description = self.model.describe(
-                    sample.video, GenerationConfig(temperature=0.0)
-                )
+                description = self.model.describe(sample.video, GREEDY)
             if not description.au_ids:
                 continue
             assessment, __ = self.model.assess(sample.video, description)

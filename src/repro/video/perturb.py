@@ -110,6 +110,42 @@ def apply_mask(frame: np.ndarray, labels: np.ndarray, keep: np.ndarray,
     return zero_segments(frame, labels, dropped, fill=fill)
 
 
+def apply_masks_batch(frame: np.ndarray, labels: np.ndarray,
+                      keeps: np.ndarray, fill: float = 0.5) -> np.ndarray:
+    """Vectorized :func:`apply_mask` over a ``(N, S)`` keep matrix.
+
+    Returns a ``(N, H, W)`` stack where row ``i`` equals
+    ``apply_mask(frame, labels, keeps[i], fill)``.  Building the whole
+    perturbation batch in one broadcast is what lets the explainers
+    submit their masks to the model in a single batched call.
+    """
+    frame = _validate_frame(frame)
+    keeps = np.atleast_2d(np.asarray(keeps))
+    num_labels = int(labels.max()) + 1
+    if keeps.shape[1] != num_labels:
+        raise ExplainerError(
+            f"keeps must have one column per segment ({num_labels}), "
+            f"got shape {keeps.shape}"
+        )
+    kept = keeps[:, labels] > 0.5          # (N, H, W) per-pixel keep map
+    return np.where(kept, frame[np.newaxis, :, :], fill)
+
+
+def zero_segments_batch(frame: np.ndarray, labels: np.ndarray,
+                        fill: float = 0.5) -> np.ndarray:
+    """One-blanked-segment-per-row stack, shape ``(S, H, W)``.
+
+    Row ``s`` equals ``zero_segments(frame, labels, [s], fill)`` -- the
+    full leave-one-out sweep the occlusion explainer evaluates.
+    """
+    frame = _validate_frame(frame)
+    if labels.shape != frame.shape:
+        raise ExplainerError("labels must have the same shape as the frame")
+    num_labels = int(labels.max()) + 1
+    blank = labels[np.newaxis, :, :] == np.arange(num_labels)[:, None, None]
+    return np.where(blank, fill, frame[np.newaxis, :, :])
+
+
 def mosaic_region(frame: np.ndarray, region: FacialRegion,
                   block_size: int = 8) -> np.ndarray:
     """Pixelate (mosaic) a facial region, as in the paper's Figure 5
