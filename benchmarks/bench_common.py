@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark scripts.
+
+Each bench script owns a few top-level sections of ``BENCH_eval.json``
+(``bench_engine.py`` owns ``deletion_metric``/``parallel_cv``,
+``bench_serving.py`` owns ``serving``).  ``merge_report`` updates only
+the caller's sections so the scripts can run independently without
+clobbering each other's recorded numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def merge_report(path: Path, updates: dict) -> dict:
+    """Merge ``updates`` into the JSON report at ``path`` and return
+    the full merged document.  Unknown/corrupt existing content is
+    replaced rather than crashing the benchmark run."""
+    report: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict):
+                report = existing
+        except (json.JSONDecodeError, OSError):
+            pass
+    report.update(updates)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report

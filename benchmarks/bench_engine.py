@@ -33,6 +33,7 @@ import sys
 import time
 from pathlib import Path
 
+from bench_common import merge_report
 from repro.datasets import generate_uvsd
 from repro.evaluation import evaluate_baseline
 from repro.explainers import (
@@ -142,7 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         "deletion_metric": bench_deletion(args.quick),
         "parallel_cv": bench_parallel_cv(args.quick),
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    # merge, don't overwrite: other bench scripts own other sections
+    merge_report(args.output, report)
     print(json.dumps(report, indent=2))
 
     if args.check:

@@ -38,6 +38,7 @@ from repro.facs.descriptions import FacialDescription
 from repro.metrics.classification import evaluate_predictions
 from repro.model.foundation import FoundationModel
 from repro.model.pretrained import available_vendors, load_offtheshelf
+from repro.serving import ServiceConfig, StressService
 from repro.training.self_refine import SelfRefineConfig
 from repro.training.trainer import train_stress_model, variant_config
 
@@ -49,7 +50,9 @@ __all__ = [
     "FoundationModel",
     "Rationale",
     "SelfRefineConfig",
+    "ServiceConfig",
     "StressChainPipeline",
+    "StressService",
     "available_vendors",
     "build_instruction_pairs",
     "evaluate_predictions",

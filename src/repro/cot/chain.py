@@ -147,6 +147,46 @@ class StressChainPipeline:
             elapsed_seconds=elapsed,
         )
 
+    def run(self, video: Video) -> ChainResult:
+        """Alias of :meth:`predict` (the serving layer's verb)."""
+        return self.predict(video)
+
+    def run_many(self, videos: list[Video], batch_size: int = 32,
+                 caches=None) -> list[ChainResult]:
+        """Run the chain over many videos through the serving batch
+        executor: duplicate contents are computed once per batch, and
+        the per-stage caches share Describe/Assess work across the
+        call.  Results are bitwise-identical to calling
+        :meth:`predict` per video, in order.
+
+        Parameters
+        ----------
+        videos:
+            Videos to run, in response order.
+        batch_size:
+            Executor batch granularity (bounds dedup bookkeeping).
+        caches:
+            Optional :class:`~repro.serving.cache.StageCaches` to
+            reuse across calls (e.g. a service's warm caches); a fresh
+            set is created otherwise.
+        """
+        from repro.errors import ConfigError
+        from repro.serving.cache import StageCaches
+        from repro.serving.executor import ChainBatchExecutor
+
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        executor = ChainBatchExecutor(
+            self, caches if caches is not None else StageCaches())
+        results: list[ChainResult] = []
+        for begin in range(0, len(videos), batch_size):
+            outcomes, __ = executor.run_batch(videos[begin:begin + batch_size])
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                results.append(outcome)
+        return results
+
     # ------------------------------------------------------------------
 
     def _refine_description(self, video: Video,

@@ -38,3 +38,15 @@ class ExplainerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was invoked with an unknown id or bad options."""
+
+
+class ServingError(ReproError):
+    """The serving layer was used in an unsupported way."""
+
+
+class ServiceClosedError(ServingError):
+    """A request was submitted to a service that has shut down."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Backpressure: the request queue is at ``max_queue_depth``."""

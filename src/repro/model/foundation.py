@@ -118,12 +118,17 @@ class FoundationModel(Module):
         The cache key includes the render seed: two datasets generated
         with different root seeds reuse the same human-readable video
         ids, but their render seeds are globally unique.
+
+        Thread-safety: concurrent callers may both miss and render the
+        same video; ``setdefault`` keeps exactly one array in the cache
+        so every caller observes the same object (the duplicate render
+        is wasted work, never wrong results).
         """
         key = (video.video_id, video.spec.seed)
         cached = self._feature_cache.get(key)
         if cached is None:
-            cached = video_features(video, self.grid)
-            self._feature_cache[key] = cached
+            cached = self._feature_cache.setdefault(
+                key, video_features(video, self.grid))
         return cached
 
     def frame_pair_features(self, expressive: np.ndarray,
@@ -134,14 +139,29 @@ class FoundationModel(Module):
     def _embed(self, features: np.ndarray) -> np.ndarray:
         return self.trunk.forward(features[np.newaxis, :])
 
+    def embed_video(self, video: Video) -> np.ndarray:
+        """Trunk embedding of a video's keyframe pair, shape (1, D).
+
+        This is the shared state of the whole reasoning chain: the
+        Describe, Assess, and Highlight heads all read the same
+        embedding, so computing it once per request (the serving
+        executor does) saves two of the three trunk passes a serial
+        :meth:`~repro.cot.chain.StressChainPipeline.predict` performs
+        -- bitwise-identically, because the per-head math is unchanged.
+        """
+        return self._embed(self.features(video))
+
     # ------------------------------------------------------------------
     # Describe (instruction I1)
     # ------------------------------------------------------------------
 
+    def au_logits_from_embed(self, embed: np.ndarray) -> np.ndarray:
+        """Per-AU description logits from a precomputed embedding."""
+        return self.au_head.forward(embed)[0]
+
     def au_logits(self, video: Video) -> np.ndarray:
         """Per-AU description logits, shape (12,)."""
-        embed = self._embed(self.features(video))
-        return self.au_head.forward(embed)[0]
+        return self.au_logits_from_embed(self.embed_video(video))
 
     def describe(self, video: Video, config: GenerationConfig | None = None,
                  session: DialogueSession | None = None) -> FacialDescription:
@@ -202,22 +222,34 @@ class FoundationModel(Module):
     # Assess (instruction I2)
     # ------------------------------------------------------------------
 
-    def _assess_input(self, features: np.ndarray,
-                      description: FacialDescription | None) -> np.ndarray:
-        embed = self._embed(features)
+    def _assess_input_from_embed(
+            self, embed: np.ndarray,
+            description: FacialDescription | None) -> np.ndarray:
         desc_vec = (description.to_vector() if description is not None
                     else np.zeros(NUM_AUS))
         return np.concatenate([embed[0], desc_vec])[np.newaxis, :]
+
+    def _assess_input(self, features: np.ndarray,
+                      description: FacialDescription | None) -> np.ndarray:
+        return self._assess_input_from_embed(self._embed(features),
+                                             description)
+
+    def assess_logit_from_embed(
+            self, embed: np.ndarray,
+            description: FacialDescription | None) -> float:
+        """Raw stress logit from a precomputed embedding."""
+        return float(
+            self.assess_head.forward(
+                self._assess_input_from_embed(embed, description)
+            )[0, 0]
+        )
 
     def assess_logit(self, video: Video,
                      description: FacialDescription | None) -> float:
         """Raw stress logit; ``description=None`` is the paper's
         "w/o Chain" direct query."""
-        return float(
-            self.assess_head.forward(
-                self._assess_input(self.features(video), description)
-            )[0, 0]
-        )
+        return self.assess_logit_from_embed(self.embed_video(video),
+                                            description)
 
     def au_logits_from_frames(self, expressive: np.ndarray,
                               neutral: np.ndarray) -> np.ndarray:
@@ -354,6 +386,21 @@ class FoundationModel(Module):
     # Highlight (instruction I3)
     # ------------------------------------------------------------------
 
+    def highlight_scores_from_embed(self, embed: np.ndarray,
+                                    description: FacialDescription,
+                                    assessment: int) -> np.ndarray:
+        """:meth:`highlight_scores` from a precomputed embedding."""
+        direction = 1.0 if assessment == STRESSED else -1.0
+        scores = (self.highlight_proj.forward(embed)[0]
+                  + self.highlight_bias.value
+                  + direction * (self.highlight_assess.value
+                                 + self.assess_au_weights()))
+        masked = np.full(NUM_AUS, -np.inf)
+        for au_id in description:
+            idx = au_index(au_id)
+            masked[idx] = scores[idx]
+        return masked
+
     def highlight_scores(self, video: Video, description: FacialDescription,
                          assessment: int) -> np.ndarray:
         """Attribution score for each *described* AU (12-dim; silent
@@ -366,17 +413,30 @@ class FoundationModel(Module):
         correction ``highlight_assess`` that rationale DPO tunes with
         causal flip-count evidence.
         """
-        direction = 1.0 if assessment == STRESSED else -1.0
-        embed = self._embed(self.features(video))
-        scores = (self.highlight_proj.forward(embed)[0]
-                  + self.highlight_bias.value
-                  + direction * (self.highlight_assess.value
-                                 + self.assess_au_weights()))
-        masked = np.full(NUM_AUS, -np.inf)
-        for au_id in description:
-            idx = au_index(au_id)
-            masked[idx] = scores[idx]
-        return masked
+        return self.highlight_scores_from_embed(self.embed_video(video),
+                                                description, assessment)
+
+    def highlight_from_embed(self, embed: np.ndarray,
+                             description: FacialDescription,
+                             assessment: int,
+                             config: GenerationConfig | None = None,
+                             top_k: int | None = None,
+                             session: DialogueSession | None = None,
+                             ) -> tuple[int, ...]:
+        """:meth:`highlight` from a precomputed embedding."""
+        if assessment not in (STRESSED, UNSTRESSED):
+            raise ModelError(f"assessment must be 0 or 1, got {assessment}")
+        if not description.au_ids:
+            return ()
+        config = config or GREEDY
+        active = [au_index(au_id) for au_id in description.au_ids]
+        scores = self.highlight_scores_from_embed(
+            embed, description, assessment)[active]
+        ordering = sample_plackett_luce(scores, config, top_k=top_k)
+        rationale = tuple(description.au_ids[i] for i in ordering)
+        if session is not None:
+            session.record(HIGHLIGHT_INSTRUCTION, _render_rationale(rationale))
+        return rationale
 
     def highlight(self, video: Video, description: FacialDescription,
                   assessment: int,
@@ -389,18 +449,10 @@ class FoundationModel(Module):
         ``p_F(R | A, E, V, I3)``; the score pathway conditions on the
         same video evidence that produced the assessment.
         """
-        if assessment not in (STRESSED, UNSTRESSED):
-            raise ModelError(f"assessment must be 0 or 1, got {assessment}")
-        if not description.au_ids:
-            return ()
-        config = config or GREEDY
-        active = [au_index(au_id) for au_id in description.au_ids]
-        scores = self.highlight_scores(video, description, assessment)[active]
-        ordering = sample_plackett_luce(scores, config, top_k=top_k)
-        rationale = tuple(description.au_ids[i] for i in ordering)
-        if session is not None:
-            session.record(HIGHLIGHT_INSTRUCTION, _render_rationale(rationale))
-        return rationale
+        return self.highlight_from_embed(self.embed_video(video),
+                                         description, assessment,
+                                         config=config, top_k=top_k,
+                                         session=session)
 
     def reflect_rationale(self, video: Video, description: FacialDescription,
                           assessment: int, config: GenerationConfig,
@@ -580,6 +632,9 @@ def _description_matrix(
             f"need one description per frame ({num_rows}), "
             f"got {len(descriptions)}"
         )
+    if not descriptions:
+        # np.stack rejects empty sequences; an empty batch is legal.
+        return np.zeros((0, NUM_AUS))
     return np.stack([
         desc.to_vector() if desc is not None else np.zeros(NUM_AUS)
         for desc in descriptions

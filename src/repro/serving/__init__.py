@@ -1,0 +1,45 @@
+"""The online serving layer: dynamic micro-batching over the chain.
+
+Public surface:
+
+- :class:`StressService` / :class:`ServiceConfig` -- the concurrent
+  predict front-end with micro-batching, per-stage LRU caches,
+  bounded-queue backpressure, graceful shutdown, and counters;
+- :class:`SerialDispatcher` -- the global-lock baseline;
+- :class:`MicroBatcher` -- the reusable batching primitive;
+- :class:`ChainBatchExecutor` -- batch execution with the bitwise
+  serial-equivalence guarantee (also behind
+  :meth:`StressChainPipeline.run_many`);
+- :class:`StageCaches` / :class:`LRUCache` and
+  :func:`video_content_hash` -- the content-addressed caches;
+- :class:`ServiceStats` / :class:`ServiceStatsSnapshot`.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import (
+    CacheStats,
+    LRUCache,
+    StageCaches,
+    video_content_hash,
+)
+from repro.serving.executor import ChainBatchExecutor
+from repro.serving.service import (
+    SerialDispatcher,
+    ServiceConfig,
+    StressService,
+)
+from repro.serving.stats import ServiceStats, ServiceStatsSnapshot
+
+__all__ = [
+    "CacheStats",
+    "ChainBatchExecutor",
+    "LRUCache",
+    "MicroBatcher",
+    "SerialDispatcher",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceStatsSnapshot",
+    "StageCaches",
+    "StressService",
+    "video_content_hash",
+]

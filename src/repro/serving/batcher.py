@@ -1,0 +1,195 @@
+"""The dynamic micro-batcher.
+
+One daemon worker thread drains a bounded request queue in batches:
+a batch closes as soon as it holds ``max_batch_size`` requests *or*
+the oldest queued request has waited ``max_wait_ms`` -- whichever
+comes first.  Under burst load batches fill instantly (no added
+latency); under trickle load a request waits at most ``max_wait_ms``
+for company.
+
+The queue is bounded: a submit past ``max_queue_depth`` is rejected
+immediately with :class:`~repro.errors.ServiceOverloadedError`
+(backpressure -- callers see the overload instead of unbounded
+latency).  :meth:`MicroBatcher.close` performs a graceful shutdown by
+default: no new submits are accepted, queued work drains, then the
+worker exits; with ``drain=False`` pending requests fail with
+:class:`~repro.errors.ServiceClosedError` instead.
+
+Because every model call happens on the single worker thread, the
+batcher also *serializes* access to the (stateful-during-forward)
+foundation model -- see DESIGN.md section 10.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+from repro.errors import (
+    ConfigError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serving.stats import ServiceStats
+
+
+class _Pending:
+    __slots__ = ("item", "future", "enqueued_at")
+
+    def __init__(self, item: Any):
+        self.item = item
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+class MicroBatcher:
+    """Coalesces concurrent submissions into batches.
+
+    Parameters
+    ----------
+    on_batch:
+        Callback receiving the list of batched items; must return one
+        outcome per item, in order.  An outcome that is an exception
+        instance fails that item's future; anything else resolves it.
+    max_batch_size / max_wait_ms / max_queue_depth:
+        The flush and backpressure knobs described in the module
+        docstring.
+    stats:
+        Optional :class:`ServiceStats` fed with per-request latencies
+        and rejection counts.
+    """
+
+    def __init__(self, on_batch: Callable[[list[Any]], Sequence[Any]],
+                 max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 max_queue_depth: int = 256,
+                 stats: ServiceStats | None = None,
+                 name: str = "micro-batcher"):
+        if max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ConfigError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self._on_batch = on_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.max_queue_depth = max_queue_depth
+        self._stats = stats
+        self._queue: deque[_Pending] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._drain_on_close = True
+        self._worker = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, item: Any) -> Future:
+        """Enqueue one item; returns the future of its outcome."""
+        pending = _Pending(item)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is shut down; no new requests accepted")
+            if len(self._queue) >= self.max_queue_depth:
+                if self._stats is not None:
+                    self._stats.record_rejected()
+                raise ServiceOverloadedError(
+                    f"request queue is full ({self.max_queue_depth} pending); "
+                    "retry later or raise max_queue_depth"
+                )
+            self._queue.append(pending)
+            if self._stats is not None:
+                self._stats.record_submitted()
+            self._wakeup.notify()
+        return pending.future
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the batcher.
+
+        ``drain=True`` (graceful) processes everything already queued
+        before the worker exits; ``drain=False`` fails pending futures
+        with :class:`ServiceClosedError`.  Idempotent.
+        """
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._drain_on_close = drain
+            self._wakeup.notify_all()
+        self._worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+
+    def _collect_batch(self) -> list[_Pending]:
+        """Block until a batch is ready (or the batcher is done).
+
+        Returns an empty list only when closed with an empty queue.
+        """
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._wakeup.wait()
+            if not self._queue:
+                return []
+            if self._closed and not self._drain_on_close:
+                failed = list(self._queue)
+                self._queue.clear()
+                for pending in failed:
+                    pending.future.set_exception(
+                        ServiceClosedError("service shut down before "
+                                           "this request was processed"))
+                return []
+            deadline = self._queue[0].enqueued_at + self.max_wait_s
+            while (len(self._queue) < self.max_batch_size
+                   and not self._closed):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wakeup.wait(timeout=remaining)
+            batch = []
+            while self._queue and len(batch) < self.max_batch_size:
+                batch.append(self._queue.popleft())
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                with self._lock:
+                    if self._closed and not self._queue:
+                        return
+                continue
+            try:
+                outcomes = self._on_batch([p.item for p in batch])
+                if len(outcomes) != len(batch):  # pragma: no cover - guard
+                    raise RuntimeError(
+                        f"batch callback returned {len(outcomes)} outcomes "
+                        f"for {len(batch)} items")
+            except BaseException as exc:  # noqa: BLE001 - worker must survive
+                outcomes = [exc] * len(batch)
+            now = time.monotonic()
+            for pending, outcome in zip(batch, outcomes):
+                failed = isinstance(outcome, BaseException)
+                if self._stats is not None:
+                    self._stats.record_completion(now - pending.enqueued_at,
+                                                  failed=failed)
+                if failed:
+                    pending.future.set_exception(outcome)
+                else:
+                    pending.future.set_result(outcome)

@@ -1,0 +1,178 @@
+"""The online stress-detection service.
+
+:class:`StressService` is the deployment front of the library: it
+accepts concurrent ``predict`` requests, coalesces them through the
+dynamic micro-batcher into the :class:`ChainBatchExecutor`, and
+returns full :class:`~repro.cot.chain.ChainResult` objects -- label,
+probability, *and* the rationale chain, because a served prediction
+without its reasoning would break the paper's interpretability
+contract.
+
+Usage::
+
+    service = StressService(StressChainPipeline(model))
+    try:
+        result = service.predict(video)          # blocking
+        future = service.submit(other_video)     # async
+        print(service.stats())
+    finally:
+        service.close()                          # graceful drain
+
+Guarantees:
+
+- responses are bitwise-identical to serial ``pipeline.predict`` (the
+  serving equivalence suite enforces this per request);
+- the queue is bounded -- submits past ``max_queue_depth`` raise
+  :class:`~repro.errors.ServiceOverloadedError` instead of growing
+  latency without bound;
+- ``close()`` drains in-flight work before returning;
+- all model access runs on the single batcher worker thread, which
+  serializes the foundation model's forward-pass state (DESIGN.md
+  section 10).
+
+:class:`SerialDispatcher` is the no-batching baseline -- a global
+lock around ``pipeline.predict`` -- used by the throughput benchmark
+and the equivalence tests as the reference dispatch strategy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import StageCaches
+from repro.serving.executor import ChainBatchExecutor
+from repro.serving.stats import ServiceStats, ServiceStatsSnapshot
+from repro.video.frame import Video
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Knobs of one :class:`StressService`.
+
+    ``max_batch_size`` / ``max_wait_ms`` shape the micro-batches
+    (flush on whichever bound is hit first); ``max_queue_depth`` is
+    the backpressure limit; the ``*_cache_capacity`` fields size the
+    per-stage LRU caches (0 disables a cache).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 256
+    describe_cache_capacity: int = 2048
+    assess_cache_capacity: int = 4096
+    highlight_cache_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ConfigError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        for field_name in ("describe_cache_capacity",
+                           "assess_cache_capacity",
+                           "highlight_cache_capacity"):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{field_name} must be >= 0")
+
+
+class StressService:
+    """Concurrent serving front-end over one chain pipeline."""
+
+    def __init__(self, pipeline, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.caches = StageCaches(
+            describe_capacity=self.config.describe_cache_capacity,
+            assess_capacity=self.config.assess_cache_capacity,
+            highlight_capacity=self.config.highlight_cache_capacity,
+        )
+        self.executor = ChainBatchExecutor(pipeline, self.caches)
+        self._stats = ServiceStats()
+        self._batcher = MicroBatcher(
+            self._process_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue_depth=self.config.max_queue_depth,
+            stats=self._stats,
+            name="stress-service",
+        )
+
+    @property
+    def pipeline(self):
+        return self.executor.pipeline
+
+    # ------------------------------------------------------------------
+
+    def submit(self, video: Video):
+        """Enqueue one request; returns a ``Future[ChainResult]``.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            If the queue already holds ``max_queue_depth`` requests.
+        ServiceClosedError
+            If the service has been closed.
+        """
+        return self._batcher.submit(video)
+
+    def predict(self, video: Video, timeout: float | None = None):
+        """Blocking predict: submit and wait for the result."""
+        return self.submit(video).result(timeout)
+
+    def stats(self) -> ServiceStatsSnapshot:
+        """Current service counters (see :class:`ServiceStatsSnapshot`)."""
+        return self._stats.snapshot(self.caches.stats())
+
+    def queue_depth(self) -> int:
+        return self._batcher.queue_depth()
+
+    @property
+    def closed(self) -> bool:
+        return self._batcher.closed
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down; with ``drain=True`` (default) queued requests
+        finish first, with ``drain=False`` they fail fast."""
+        self._batcher.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "StressService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, videos: list[Video]) -> list[object]:
+        outcomes, unique = self.executor.run_batch(videos)
+        self._stats.record_batch(size=len(videos), unique=unique)
+        return outcomes
+
+
+class SerialDispatcher:
+    """The pre-serving baseline: concurrent callers are serialized
+    through one global lock around ``pipeline.predict``.
+
+    This is the correct (and only safe) way to share a pipeline across
+    threads *without* the service -- the foundation model's layers
+    cache forward activations, so unserialized concurrent calls would
+    race on that state.  The throughput benchmark measures the service
+    against this dispatcher under identical client load.
+    """
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self._lock = threading.Lock()
+
+    def predict(self, video: Video):
+        with self._lock:
+            return self.pipeline.predict(video)
+
+    def close(self) -> None:  # interface parity with StressService
+        """No-op; the dispatcher owns no worker state."""

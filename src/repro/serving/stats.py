@@ -1,0 +1,108 @@
+"""Service counters: requests, batches, occupancy, latency quantiles.
+
+:class:`ServiceStats` is the mutable, thread-safe accumulator the
+service updates on its hot path; :meth:`ServiceStats.snapshot` freezes
+it into a :class:`ServiceStatsSnapshot` for reporting.  Latencies are
+kept in a bounded ring (the most recent ``LATENCY_WINDOW`` requests),
+so quantiles track current behaviour and memory stays constant under
+sustained traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serving.cache import CacheStats
+
+#: How many recent request latencies feed the p50/p95 estimates.
+LATENCY_WINDOW: int = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStatsSnapshot:
+    """A point-in-time view of one service's counters."""
+
+    requests: int
+    completed: int
+    failed: int
+    rejected: int
+    deduplicated: int
+    batches: int
+    mean_batch_occupancy: float
+    latency_p50_s: float
+    latency_p95_s: float
+    cache: dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Aggregate hit rate across all stage caches."""
+        hits = sum(s.hits for s in self.cache.values())
+        misses = sum(s.misses for s in self.cache.values())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServiceStats:
+    """Thread-safe accumulator for the serving counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._deduplicated = 0
+        self._batches = 0
+        self._occupancy_sum = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, size: int, unique: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._occupancy_sum += size
+            self._deduplicated += size - unique
+
+    def record_completion(self, latency_s: float, failed: bool) -> None:
+        with self._lock:
+            if failed:
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._latencies.append(latency_s)
+
+    def snapshot(self, cache: dict[str, CacheStats] | None = None,
+                 ) -> ServiceStatsSnapshot:
+        with self._lock:
+            ordered = sorted(self._latencies)
+            occupancy = (self._occupancy_sum / self._batches
+                         if self._batches else 0.0)
+            return ServiceStatsSnapshot(
+                requests=self._requests,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                deduplicated=self._deduplicated,
+                batches=self._batches,
+                mean_batch_occupancy=occupancy,
+                latency_p50_s=_quantile(ordered, 0.50),
+                latency_p95_s=_quantile(ordered, 0.95),
+                cache=dict(cache or {}),
+            )

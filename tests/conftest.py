@@ -7,8 +7,43 @@ real trained behaviour without each test paying the training cost.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:  # hypothesis is a dev dependency; profiles only matter if present
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    # Tier-1 stays fast: the default profile draws few examples and is
+    # derandomized (fixed seed), so local runs are quick and stable.
+    # CI's dedicated hypothesis job selects the "ci" profile via
+    # REPRO_HYPOTHESIS_PROFILE for a deeper, equally reproducible sweep.
+    hypothesis_settings.register_profile(
+        "fast", max_examples=15, deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "ci", max_examples=150, deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(
+        os.environ.get("REPRO_HYPOTHESIS_PROFILE", "fast"))
+except ImportError:  # pragma: no cover - hypothesis always in dev env
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden chain fixtures under tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 from repro.datasets import (
     build_instruction_pairs,

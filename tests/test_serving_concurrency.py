@@ -1,0 +1,219 @@
+"""Concurrency stress for the serving layer.
+
+N client threads fire M requests each with randomized (seeded) delays
+against one :class:`StressService`.  The suite asserts the full
+contract under contention: no deadlocks (everything joins within a
+timeout), no dropped or duplicated responses, every response bitwise
+identical to a serial run, and backpressure errors raised *only* when
+the queue genuinely exceeded ``max_queue_depth``.
+
+Also the regression for the latent mutable-state hazard: the
+foundation model's layers cache forward activations
+(``Linear.forward`` stores its input), so unserialized concurrent
+model calls would race.  The service serializes all model access on
+the batcher worker and hands out per-request sessions; the tests pin
+both properties.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cot.chain import StressChainPipeline
+from repro.errors import ServiceOverloadedError
+from repro.model.foundation import FoundationModel
+from repro.model.session import DialogueSession
+from repro.rng import make_rng
+from repro.serving import SerialDispatcher, ServiceConfig, StressService
+from repro.video.frame import Video, VideoSpec
+
+JOIN_TIMEOUT_S = 120.0  # deadlock guard: generous, never hit when healthy
+
+
+def _videos(count: int, base_seed: int) -> list[Video]:
+    videos = []
+    for index in range(count):
+        rng = np.random.default_rng(base_seed + index)
+        curves = np.clip(rng.random((12, 12)) * rng.uniform(0.3, 1.0), 0, 1)
+        videos.append(Video(VideoSpec(
+            video_id=f"conc-{base_seed}-{index}",
+            subject_id=f"conc-subj-{index % 4}",
+            au_intensities=curves, identity=rng.standard_normal(8),
+            noise_scale=0.02, seed=base_seed * 10 + index,
+        )))
+    return videos
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return StressChainPipeline(
+        FoundationModel(make_rng(47, "serving-concurrency")))
+
+
+def test_stress_no_drops_no_duplicates_serial_identical(pipeline):
+    num_threads, requests_per_thread = 6, 8
+    videos = _videos(5, base_seed=200)
+    serial = {v.video_id: pipeline.predict(v) for v in videos}
+
+    results: dict[tuple[int, int], object] = {}
+    errors: list[BaseException] = []
+    results_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_threads)
+
+    def client(thread_id: int) -> None:
+        rng = random.Random(1000 + thread_id)
+        start_barrier.wait()
+        for request_id in range(requests_per_thread):
+            time.sleep(rng.uniform(0, 0.003))
+            video = videos[rng.randrange(len(videos))]
+            try:
+                result = service.predict(video, timeout=JOIN_TIMEOUT_S)
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                with results_lock:
+                    errors.append(exc)
+                continue
+            with results_lock:
+                key = (thread_id, request_id)
+                assert key not in results, "duplicated response delivery"
+                results[key] = (video.video_id, result)
+
+    config = ServiceConfig(max_batch_size=8, max_wait_ms=1.0,
+                           max_queue_depth=256)
+    with StressService(pipeline, config) as service:
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT_S)
+            assert not thread.is_alive(), "client thread deadlocked"
+        stats = service.stats()
+
+    # queue_depth=256 > total requests, so nothing may have been rejected
+    assert not errors, f"unexpected request failures: {errors[:3]}"
+    # no drops: every (thread, request) pair produced exactly one result
+    assert len(results) == num_threads * requests_per_thread
+    assert stats.completed == num_threads * requests_per_thread
+    assert stats.failed == 0
+    assert stats.rejected == 0
+    # bitwise serial equivalence under contention
+    for video_id, result in results.values():
+        want = serial[video_id]
+        assert result.label == want.label
+        assert result.prob_stressed == want.prob_stressed
+        assert tuple(result.rationale) == tuple(want.rationale)
+        assert result.session.transcript() == want.session.transcript()
+    # distinct session objects per response, even for identical content
+    sessions = [id(result.session) for __, result in results.values()]
+    assert len(set(sessions)) == len(sessions)
+
+
+def test_backpressure_only_past_queue_depth(pipeline):
+    """Rejections happen iff the queue is genuinely full: a gated
+    executor holds the worker so the queue depth is deterministic."""
+    video = _videos(1, base_seed=300)[0]
+    release = threading.Event()
+    worker_busy = threading.Event()
+
+    config = ServiceConfig(max_batch_size=1, max_wait_ms=0, max_queue_depth=3)
+    service = StressService(pipeline, config)
+    real_run_batch = service.executor.run_batch
+
+    def gated_run_batch(videos):
+        worker_busy.set()
+        release.wait(JOIN_TIMEOUT_S)
+        return real_run_batch(videos)
+
+    service.executor.run_batch = gated_run_batch
+    try:
+        in_flight = service.submit(video)      # occupies the worker
+        assert worker_busy.wait(JOIN_TIMEOUT_S)
+        queued = [service.submit(video) for __ in range(3)]  # fills queue
+        # depth == max_queue_depth: the next submit must be rejected
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(video)
+        release.set()
+        # every accepted request still completes (none were dropped)
+        accepted = [in_flight, *queued]
+        probs = {f.result(JOIN_TIMEOUT_S).prob_stressed for f in accepted}
+        assert len(probs) == 1
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.completed == len(accepted)
+    finally:
+        release.set()
+        service.close()
+
+
+def test_concurrent_requests_do_not_interleave_sessions(pipeline):
+    """Mutable-state regression: with concurrent clients, every
+    response's session contains exactly its own chain's turns -- no
+    cross-request turn leakage and no shared session objects."""
+    videos = _videos(4, base_seed=400)
+    expected_turns = {v.video_id: len(pipeline.predict(v).session)
+                      for v in videos}
+
+    collected = []
+    lock = threading.Lock()
+
+    def client(thread_id: int) -> None:
+        rng = random.Random(thread_id)
+        for __ in range(6):
+            video = videos[rng.randrange(len(videos))]
+            result = service.predict(video, timeout=JOIN_TIMEOUT_S)
+            with lock:
+                collected.append((video.video_id, result.session))
+
+    with StressService(pipeline, ServiceConfig(max_wait_ms=1.0)) as service:
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT_S)
+            assert not thread.is_alive(), "client thread deadlocked"
+
+    assert len(collected) == 30
+    for video_id, session in collected:
+        assert isinstance(session, DialogueSession)
+        assert len(session) == expected_turns[video_id], (
+            f"{video_id}: session gained or lost turns under concurrency")
+    assert len({id(session) for __, session in collected}) == len(collected)
+
+
+def test_serial_dispatcher_is_thread_safe_baseline(pipeline):
+    """The benchmark baseline holds under the same client load: the
+    global lock serializes model access, so concurrent results equal
+    unshared serial ones."""
+    videos = _videos(3, base_seed=500)
+    serial = {v.video_id: pipeline.predict(v) for v in videos}
+    dispatcher = SerialDispatcher(pipeline)
+
+    mismatches = []
+    lock = threading.Lock()
+
+    def client(thread_id: int) -> None:
+        rng = random.Random(thread_id * 7)
+        for __ in range(5):
+            video = videos[rng.randrange(len(videos))]
+            result = dispatcher.predict(video)
+            want = serial[video.video_id]
+            if (result.prob_stressed != want.prob_stressed
+                    or result.session.transcript()
+                    != want.session.transcript()):
+                with lock:
+                    mismatches.append(video.video_id)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(JOIN_TIMEOUT_S)
+        assert not thread.is_alive()
+    dispatcher.close()
+    assert not mismatches

@@ -1,0 +1,297 @@
+"""Unit tests for the serving layer's building blocks.
+
+Covers the LRU caches (bounds, eviction, counters, disable mode), the
+content hash, the micro-batcher's flush/backpressure/shutdown
+behaviour, config validation, and the service stats surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cot.chain import StressChainPipeline
+from repro.errors import (
+    ConfigError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.model.foundation import FoundationModel
+from repro.rng import make_rng
+from repro.serving import (
+    LRUCache,
+    MicroBatcher,
+    ServiceConfig,
+    StageCaches,
+    StressService,
+    video_content_hash,
+)
+from repro.video.frame import Video, VideoSpec
+
+
+def _video(tag: str, seed: int, noise: float = 0.02) -> Video:
+    rng = np.random.default_rng(seed)
+    curves = np.clip(rng.random((12, 12)), 0, 1)
+    return Video(VideoSpec(
+        video_id=f"svc-{tag}", subject_id=f"svc-subj-{tag}",
+        au_intensities=curves, identity=rng.standard_normal(8),
+        noise_scale=noise, seed=seed,
+    ))
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return StressChainPipeline(FoundationModel(make_rng(9, "serving-unit")))
+
+
+class TestLRUCache:
+    def test_basic_round_trip_and_counters(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 2)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUCache(capacity=-1)
+
+
+class TestContentHash:
+    def test_same_content_same_key(self):
+        assert video_content_hash(_video("x", 1)) == \
+            video_content_hash(_video("x", 1))
+
+    def test_content_changes_change_key(self):
+        base = video_content_hash(_video("x", 1))
+        assert video_content_hash(_video("x", 2)) != base          # seed
+        assert video_content_hash(_video("x", 1, noise=0.1)) != base
+
+    def test_memoized_key_matches_direct_hash(self):
+        caches = StageCaches()
+        video = _video("memo", 3)
+        assert caches.content_key(video) == video_content_hash(video)
+        assert caches.content_key(video) == video_content_hash(video)
+
+
+class TestMicroBatcher:
+    def test_flush_on_batch_size(self):
+        seen = []
+        gate = threading.Event()
+
+        def on_batch(items):
+            seen.append(list(items))
+            gate.wait(5)
+            return items
+
+        batcher = MicroBatcher(on_batch, max_batch_size=3,
+                               max_wait_ms=10_000, max_queue_depth=16)
+        futures = [batcher.submit(i) for i in range(3)]
+        # the batch is full, so it must flush long before max_wait_ms
+        deadline = time.monotonic() + 5
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.001)
+        gate.set()
+        assert [f.result(5) for f in futures] == [0, 1, 2]
+        assert seen and len(seen[0]) == 3
+        batcher.close()
+
+    def test_flush_on_max_wait(self):
+        batcher = MicroBatcher(lambda items: items, max_batch_size=64,
+                               max_wait_ms=5, max_queue_depth=16)
+        start = time.monotonic()
+        assert batcher.submit("solo").result(5) == "solo"
+        assert time.monotonic() - start < 2.0
+        batcher.close()
+
+    def test_backpressure_rejects_past_queue_depth(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def on_batch(items):
+            started.set()
+            release.wait(5)
+            return items
+
+        batcher = MicroBatcher(on_batch, max_batch_size=1, max_wait_ms=0,
+                               max_queue_depth=2)
+        first = batcher.submit("busy")     # worker picks this up...
+        assert started.wait(5)
+        queued = [batcher.submit(i) for i in range(2)]  # ...queue fills
+        with pytest.raises(ServiceOverloadedError):
+            batcher.submit("overflow")
+        release.set()
+        assert first.result(5) == "busy"
+        assert [f.result(5) for f in queued] == [0, 1]
+        batcher.close()
+
+    def test_graceful_close_drains(self):
+        processed = []
+
+        def on_batch(items):
+            time.sleep(0.002)
+            processed.extend(items)
+            return items
+
+        batcher = MicroBatcher(on_batch, max_batch_size=2, max_wait_ms=1,
+                               max_queue_depth=64)
+        futures = [batcher.submit(i) for i in range(10)]
+        batcher.close(drain=True)
+        assert sorted(f.result(0) for f in futures) == list(range(10))
+        assert sorted(processed) == list(range(10))
+        with pytest.raises(ServiceClosedError):
+            batcher.submit("late")
+
+    def test_abrupt_close_fails_pending(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def on_batch(items):
+            started.set()
+            release.wait(5)
+            return items
+
+        batcher = MicroBatcher(on_batch, max_batch_size=1, max_wait_ms=0,
+                               max_queue_depth=8)
+        running = batcher.submit("running")
+        assert started.wait(5)
+        pending = batcher.submit("pending")
+        release.set()
+        batcher.close(drain=False)
+        assert running.result(5) == "running"
+        with pytest.raises(ServiceClosedError):
+            pending.result(5)
+
+    def test_callback_exception_fails_the_batch(self):
+        def on_batch(items):
+            raise RuntimeError("executor blew up")
+
+        batcher = MicroBatcher(on_batch, max_batch_size=4, max_wait_ms=1,
+                               max_queue_depth=8)
+        future = batcher.submit("doomed")
+        with pytest.raises(RuntimeError, match="blew up"):
+            future.result(5)
+        # the worker survived the exception and still serves requests
+        def ok_batch(items):
+            return items
+        batcher._on_batch = ok_batch
+        assert batcher.submit("alive").result(5) == "alive"
+        batcher.close()
+
+    def test_config_validation(self):
+        for kwargs in ({"max_batch_size": 0}, {"max_wait_ms": -1},
+                       {"max_queue_depth": 0}):
+            with pytest.raises(ConfigError):
+                MicroBatcher(lambda items: items, **kwargs)
+
+
+class TestServiceConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(max_wait_ms=-0.5)
+        with pytest.raises(ConfigError):
+            ServiceConfig(max_queue_depth=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(assess_cache_capacity=-1)
+
+
+class TestStressService:
+    def test_predict_and_stats_counters(self, pipeline):
+        videos = [_video("stats-a", 21), _video("stats-b", 22)]
+        with StressService(pipeline, ServiceConfig(max_wait_ms=0.5)) as svc:
+            for __ in range(3):
+                for video in videos:
+                    result = svc.predict(video, timeout=30)
+                    assert result.label in (0, 1)
+            stats = svc.stats()
+        assert stats.requests == 6
+        assert stats.completed == 6
+        assert stats.failed == 0
+        assert stats.rejected == 0
+        assert stats.batches >= 1
+        assert stats.mean_batch_occupancy >= 1.0
+        assert stats.latency_p95_s >= stats.latency_p50_s >= 0.0
+        # repeats of the same two contents must hit every stage cache
+        assert stats.cache["describe"].hits >= 4
+        assert stats.cache["assess"].hits >= 4
+        assert stats.cache["highlight"].hits >= 4
+        assert 0.0 < stats.cache_hit_rate <= 1.0
+
+    def test_in_flight_duplicates_deduplicated(self, pipeline):
+        video = _video("dup", 31)
+        config = ServiceConfig(max_batch_size=8, max_wait_ms=50,
+                               describe_cache_capacity=0,
+                               assess_cache_capacity=0,
+                               highlight_cache_capacity=0)
+        with StressService(pipeline, config) as svc:
+            futures = [svc.submit(video) for __ in range(8)]
+            results = [f.result(30) for f in futures]
+            stats = svc.stats()
+        reference = pipeline.predict(video)
+        for result in results:
+            assert result.prob_stressed == reference.prob_stressed
+            assert result.session is not results[0].session or \
+                result is results[0]
+        # at least one batch carried >1 request for the same content
+        assert stats.deduplicated >= 1
+
+    def test_submit_after_close_raises(self, pipeline):
+        svc = StressService(pipeline)
+        svc.close()
+        assert svc.closed
+        with pytest.raises(ServiceClosedError):
+            svc.submit(_video("late", 41))
+
+    def test_close_is_idempotent(self, pipeline):
+        svc = StressService(pipeline)
+        svc.close()
+        svc.close()
+
+    def test_caches_disabled_still_correct(self, pipeline):
+        video = _video("nocache", 51)
+        config = ServiceConfig(describe_cache_capacity=0,
+                               assess_cache_capacity=0,
+                               highlight_cache_capacity=0)
+        reference = pipeline.predict(video)
+        with StressService(pipeline, config) as svc:
+            for __ in range(3):
+                result = svc.predict(video, timeout=30)
+                assert result.prob_stressed == reference.prob_stressed
+            stats = svc.stats()
+        assert stats.cache["describe"].hits == 0
+
+    def test_run_many_reuses_service_caches(self, pipeline):
+        videos = [_video("rm-a", 61), _video("rm-b", 62)]
+        serial = [pipeline.predict(v) for v in videos]
+        with StressService(pipeline) as svc:
+            for video in videos:
+                svc.predict(video, timeout=30)
+            results = pipeline.run_many(videos * 2, caches=svc.caches)
+        for want, got in zip(serial * 2, results):
+            assert got.prob_stressed == want.prob_stressed
+            assert got.session.transcript() == want.session.transcript()
