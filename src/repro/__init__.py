@@ -38,6 +38,12 @@ from repro.facs.descriptions import FacialDescription
 from repro.metrics.classification import evaluate_predictions
 from repro.model.foundation import FoundationModel
 from repro.model.pretrained import available_vendors, load_offtheshelf
+from repro.observability import (
+    MetricsRegistry,
+    global_metrics,
+    install_exporter,
+    span,
+)
 from repro.serving import ServiceConfig, StressService
 from repro.training.self_refine import SelfRefineConfig
 from repro.training.trainer import train_stress_model, variant_config
@@ -48,6 +54,7 @@ __all__ = [
     "ChainResult",
     "FacialDescription",
     "FoundationModel",
+    "MetricsRegistry",
     "Rationale",
     "SelfRefineConfig",
     "ServiceConfig",
@@ -59,8 +66,11 @@ __all__ = [
     "generate_disfa",
     "generate_rsl",
     "generate_uvsd",
+    "global_metrics",
+    "install_exporter",
     "kfold_splits",
     "load_offtheshelf",
+    "span",
     "train_stress_model",
     "train_test_split",
     "variant_config",

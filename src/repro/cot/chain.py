@@ -25,6 +25,7 @@ from repro.model.foundation import STRESSED, UNSTRESSED, FoundationModel
 from repro.model.generation import GREEDY, GenerationConfig
 from repro.model.session import DialogueSession
 from repro.nn.tensorops import sigmoid
+from repro.observability.tracing import span
 from repro.rng import derive_seed
 from repro.training.verification import verification_score
 from repro.video.frame import Video
@@ -106,36 +107,40 @@ class StressChainPipeline:
 
         description: FacialDescription | None = None
         if self.use_chain:
-            description = self.model.describe(
-                video, GREEDY, session=session
+            with span("chain.describe", refine=self.test_time_refine):
+                description = self.model.describe(
+                    video, GREEDY, session=session
+                )
+                if self.test_time_refine:
+                    description = self._refine_description(video, description)
+
+        with span("chain.assess", use_chain=self.use_chain):
+            logit = self.model.assess_logit(video, description)
+            if self.retriever is not None and description is not None:
+                examples = self.retriever.retrieve(video, description)
+                shift = incontext_logit_shift(description, examples)
+                # In-context evidence sways the model where it is unsure;
+                # a confident assessment barely moves (the gating mirrors
+                # how prompt examples influence a real LFM's decision).
+                confidence = abs(
+                    2.0 * float(sigmoid(np.array(logit))[()]) - 1.0)
+                logit += shift * (1.0 - confidence)
+            prob = float(sigmoid(np.array(logit))[()])
+            label = STRESSED if logit > 0 else UNSTRESSED
+            session.record(
+                _assess_instruction(self.use_chain),
+                "Stressed" if label == STRESSED else "Unstressed",
             )
-            if self.test_time_refine:
-                description = self._refine_description(video, description)
 
-        logit = self.model.assess_logit(video, description)
-        if self.retriever is not None and description is not None:
-            examples = self.retriever.retrieve(video, description)
-            shift = incontext_logit_shift(description, examples)
-            # In-context evidence sways the model where it is unsure;
-            # a confident assessment barely moves (the gating mirrors
-            # how prompt examples influence a real LFM's decision).
-            confidence = abs(2.0 * float(sigmoid(np.array(logit))[()]) - 1.0)
-            logit += shift * (1.0 - confidence)
-        prob = float(sigmoid(np.array(logit))[()])
-        label = STRESSED if logit > 0 else UNSTRESSED
-        session.record(
-            _assess_instruction(self.use_chain),
-            "Stressed" if label == STRESSED else "Unstressed",
-        )
-
-        highlight_desc = description
-        if highlight_desc is None:
-            # w/o Chain still answers I3; it reads its greedy AU
-            # estimate off the video when asked to point at cues.
-            highlight_desc = self.model.describe(video, GREEDY)
-        rationale = Rationale(self.model.highlight(
-            video, highlight_desc, label, GREEDY, session=session,
-        ))
+        with span("chain.highlight"):
+            highlight_desc = description
+            if highlight_desc is None:
+                # w/o Chain still answers I3; it reads its greedy AU
+                # estimate off the video when asked to point at cues.
+                highlight_desc = self.model.describe(video, GREEDY)
+            rationale = Rationale(self.model.highlight(
+                video, highlight_desc, label, GREEDY, session=session,
+            ))
 
         elapsed = time.perf_counter() - start
         return ChainResult(

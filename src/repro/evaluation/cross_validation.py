@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.datasets.base import StressDataset, kfold_splits
 from repro.evaluation.parallel import parallel_map
+from repro.observability.metrics import global_metrics
+from repro.observability.tracing import span
 from repro.metrics.classification import (
     ClassificationMetrics,
     evaluate_predictions,
@@ -50,15 +52,21 @@ def cross_validate(
     splits = kfold_splits(dataset, num_folds, seed)
 
     def run_fold(fold_index: int) -> ClassificationMetrics:
-        train_idx, test_idx = splits[fold_index]
-        train = dataset.subset(train_idx,
-                               f"{dataset.name}-fold{fold_index}-train")
-        test = dataset.subset(test_idx,
-                              f"{dataset.name}-fold{fold_index}-test")
-        predictor = fit(train, fold_index)
-        predictions = np.array([predictor(sample) for sample in test])
-        return evaluate_predictions(test.labels, predictions)
+        # The span nests under eval.cross_validate on the serial
+        # backend and roots its own trace on worker threads/processes.
+        with span("eval.fold", fold=fold_index, dataset=dataset.name):
+            train_idx, test_idx = splits[fold_index]
+            train = dataset.subset(train_idx,
+                                   f"{dataset.name}-fold{fold_index}-train")
+            test = dataset.subset(test_idx,
+                                  f"{dataset.name}-fold{fold_index}-test")
+            predictor = fit(train, fold_index)
+            predictions = np.array([predictor(sample) for sample in test])
+            return evaluate_predictions(test.labels, predictions)
 
-    per_fold = parallel_map(run_fold, range(len(splits)),
-                            backend=backend, num_workers=num_workers)
+    with span("eval.cross_validate", dataset=dataset.name,
+              folds=len(splits)):
+        per_fold = parallel_map(run_fold, range(len(splits)),
+                                backend=backend, num_workers=num_workers)
+    global_metrics().counter("evaluation.folds").inc(len(splits))
     return mean_metrics(per_fold), per_fold

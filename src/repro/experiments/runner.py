@@ -8,6 +8,8 @@ import time
 
 from repro.experiments.common import ExperimentOptions, SCALES
 from repro.experiments.registry import experiment_ids, run_experiment
+from repro.observability.metrics import global_metrics
+from repro.observability.tracing import span
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,8 +32,13 @@ def main(argv: list[str] | None = None) -> int:
     options = ExperimentOptions.at(args.scale, args.seed)
     for experiment_id in requested:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, options)
+        with span("experiment.run", experiment=experiment_id,
+                  scale=args.scale, seed=args.seed):
+            result = run_experiment(experiment_id, options)
         elapsed = time.perf_counter() - start
+        metrics = global_metrics()
+        metrics.counter("experiments.completed").inc()
+        metrics.gauge(f"experiments.{experiment_id}_seconds").set(elapsed)
         print(result.text)
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")
         print()

@@ -53,6 +53,7 @@ from repro.model.instructions import (
 )
 from repro.model.session import DialogueSession
 from repro.nn.layers import Linear, Module, Parameter
+from repro.observability import profiling
 from repro.nn.tensorops import sigmoid
 from repro.video.frame import Video
 
@@ -127,8 +128,12 @@ class FoundationModel(Module):
         key = (video.video_id, video.spec.seed)
         cached = self._feature_cache.get(key)
         if cached is None:
+            if profiling.enabled():
+                profiling.count(profiling.FEATURE_CACHE_MISS)
             cached = self._feature_cache.setdefault(
                 key, video_features(video, self.grid))
+        elif profiling.enabled():
+            profiling.count(profiling.FEATURE_CACHE_HIT)
         return cached
 
     def frame_pair_features(self, expressive: np.ndarray,
@@ -149,6 +154,8 @@ class FoundationModel(Module):
         :meth:`~repro.cot.chain.StressChainPipeline.predict` performs
         -- bitwise-identically, because the per-head math is unchanged.
         """
+        if profiling.enabled():
+            profiling.count(profiling.EMBED)
         return self._embed(self.features(video))
 
     # ------------------------------------------------------------------

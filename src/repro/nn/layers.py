@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.tensorops import relu
+from repro.observability import profiling
 
 
 class Parameter:
@@ -95,6 +96,11 @@ class Linear(Module):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # Profiling hook guarded by a single global check: the layer
+        # runs ~1e5 times per training run, so nothing may allocate on
+        # the disabled path.
+        if profiling.enabled():
+            profiling.count(profiling.GEMM)
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         self._input = x
         return x @ self.weight.value + self.bias.value

@@ -1,0 +1,54 @@
+"""Observability: tracing spans, metrics, and profiling hooks.
+
+Three small facilities with one shared goal -- make the pipeline's
+per-stage cost and outcomes visible without perturbing a single
+seeded RNG stream (DESIGN.md section 11):
+
+- :mod:`repro.observability.tracing` -- ``span("stage", **attrs)``
+  context manager; JSONL export via the ``REPRO_TRACE`` env var;
+  zero-cost no-op when disabled.
+- :mod:`repro.observability.metrics` -- process-wide
+  :class:`MetricsRegistry` of counters/gauges/histograms with an
+  isolated ``snapshot()``; serving, training, and evaluation all
+  publish here.
+- :mod:`repro.observability.profiling` -- per-span work counters
+  (GEMMs, embeddings, cache hits) fed by the model and cache layers.
+"""
+
+from repro.observability.metrics import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    global_metrics,
+    nearest_rank_quantile,
+)
+from repro.observability.tracing import (
+    JsonlExporter,
+    ListExporter,
+    Span,
+    SpanExporter,
+    configure_from_env,
+    current_span,
+    enabled,
+    install_exporter,
+    span,
+    uninstall_exporter,
+)
+
+__all__ = [
+    "HistogramSnapshot",
+    "JsonlExporter",
+    "ListExporter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanExporter",
+    "configure_from_env",
+    "current_span",
+    "enabled",
+    "global_metrics",
+    "install_exporter",
+    "nearest_rank_quantile",
+    "span",
+    "uninstall_exporter",
+]

@@ -33,6 +33,7 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.observability.tracing import span
 from repro.serving.stats import ServiceStats
 
 
@@ -175,8 +176,10 @@ class MicroBatcher:
                     if self._closed and not self._queue:
                         return
                 continue
+            started = time.monotonic()
             try:
-                outcomes = self._on_batch([p.item for p in batch])
+                with span("serve.batch", size=len(batch)):
+                    outcomes = self._on_batch([p.item for p in batch])
                 if len(outcomes) != len(batch):  # pragma: no cover - guard
                     raise RuntimeError(
                         f"batch callback returned {len(outcomes)} outcomes "
@@ -184,6 +187,11 @@ class MicroBatcher:
             except BaseException as exc:  # noqa: BLE001 - worker must survive
                 outcomes = [exc] * len(batch)
             now = time.monotonic()
+            if self._stats is not None:
+                # Latency split: time each request sat queued before
+                # this batch started vs the batch's execution time.
+                self._stats.record_batch_split(
+                    [started - p.enqueued_at for p in batch], now - started)
             for pending, outcome in zip(batch, outcomes):
                 failed = isinstance(outcome, BaseException)
                 if self._stats is not None:

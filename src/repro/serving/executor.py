@@ -41,6 +41,8 @@ from repro.model.instructions import (
 )
 from repro.model.session import DialogueSession
 from repro.nn.tensorops import sigmoid
+from repro.observability import profiling
+from repro.observability.tracing import span
 from repro.serving.cache import (
     AssessEntry,
     DescribeEntry,
@@ -96,22 +98,24 @@ class ChainBatchExecutor:
         """
         outcomes: list[object] = [None] * len(videos)
         groups: dict[str, list[int]] = {}
-        for i, video in enumerate(videos):
-            try:
-                key = self.caches.content_key(video)
-            except Exception as exc:  # noqa: BLE001 - per-request failure
-                outcomes[i] = exc
-                continue
-            groups.setdefault(key, []).append(i)
-        for key, indices in groups.items():
-            try:
-                core = self._run_core(videos[indices[0]], key)
-            except Exception as exc:  # noqa: BLE001 - per-request failure
-                for i in indices:
+        with span("serve.execute_batch", size=len(videos)) as sp:
+            for i, video in enumerate(videos):
+                try:
+                    key = self.caches.content_key(video)
+                except Exception as exc:  # noqa: BLE001 - per-request failure
                     outcomes[i] = exc
-                continue
-            for i in indices:
-                outcomes[i] = self._materialize(core)
+                    continue
+                groups.setdefault(key, []).append(i)
+            sp.set("unique", len(groups))
+            for key, indices in groups.items():
+                try:
+                    core = self._run_core(videos[indices[0]], key)
+                except Exception as exc:  # noqa: BLE001 - per-request failure
+                    for i in indices:
+                        outcomes[i] = exc
+                    continue
+                for i in indices:
+                    outcomes[i] = self._materialize(core)
         return outcomes, len(groups)
 
     # ------------------------------------------------------------------
@@ -139,30 +143,35 @@ class ChainBatchExecutor:
         def get_describe() -> DescribeEntry:
             entry = caches.describe.get(key)
             if entry is None:
+                profiling.count(profiling.STAGE_CACHE_MISS)
                 logits = model.au_logits_from_embed(get_embed())
                 description = FacialDescription.from_vector(
                     sample_bernoulli_set(logits, GREEDY))
                 entry = DescribeEntry(description=description,
                                       rendered=description.render())
                 caches.describe.put(key, entry)
+            else:
+                profiling.count(profiling.STAGE_CACHE_HIT)
             return entry
 
         # --- Describe ------------------------------------------------
         description: FacialDescription | None = None
         greedy_render: str | None = None
         if pipeline.use_chain:
-            entry = get_describe()
-            greedy_render = entry.rendered
-            description = entry.description
-            if pipeline.test_time_refine:
-                # The refinement redraw is seeded by video_id, so its
-                # cache key must carry the id alongside the content.
-                refine_key = (key, video.video_id, "refined")
-                refined = caches.describe.get(refine_key)
-                if refined is None:
-                    refined = pipeline._refine_description(video, description)
-                    caches.describe.put(refine_key, refined)
-                description = refined
+            with span("chain.describe", refine=pipeline.test_time_refine):
+                entry = get_describe()
+                greedy_render = entry.rendered
+                description = entry.description
+                if pipeline.test_time_refine:
+                    # The refinement redraw is seeded by video_id, so its
+                    # cache key must carry the id alongside the content.
+                    refine_key = (key, video.video_id, "refined")
+                    refined = caches.describe.get(refine_key)
+                    if refined is None:
+                        refined = pipeline._refine_description(
+                            video, description)
+                        caches.describe.put(refine_key, refined)
+                    description = refined
 
         # --- Assess --------------------------------------------------
         # Retrieval derives its sampling seed from video_id, so the
@@ -172,35 +181,44 @@ class ChainBatchExecutor:
             description.au_ids if description is not None else None,
             video.video_id if pipeline.retriever is not None else None,
         )
-        assess = caches.assess.get(assess_key)
-        if assess is None:
-            logit = model.assess_logit_from_embed(get_embed(), description)
-            if pipeline.retriever is not None and description is not None:
-                from repro.cot.incontext import incontext_logit_shift
+        with span("chain.assess", use_chain=pipeline.use_chain):
+            assess = caches.assess.get(assess_key)
+            if assess is None:
+                profiling.count(profiling.STAGE_CACHE_MISS)
+                logit = model.assess_logit_from_embed(get_embed(), description)
+                if pipeline.retriever is not None and description is not None:
+                    from repro.cot.incontext import incontext_logit_shift
 
-                examples = pipeline.retriever.retrieve(video, description)
-                shift = incontext_logit_shift(description, examples)
-                confidence = abs(
-                    2.0 * float(sigmoid(np.array(logit))[()]) - 1.0)
-                logit += shift * (1.0 - confidence)
-            prob = float(sigmoid(np.array(logit))[()])
-            label = STRESSED if logit > 0 else UNSTRESSED
-            assess = AssessEntry(logit=logit, prob=prob, label=label)
-            caches.assess.put(assess_key, assess)
+                    examples = pipeline.retriever.retrieve(video, description)
+                    shift = incontext_logit_shift(description, examples)
+                    confidence = abs(
+                        2.0 * float(sigmoid(np.array(logit))[()]) - 1.0)
+                    logit += shift * (1.0 - confidence)
+                prob = float(sigmoid(np.array(logit))[()])
+                label = STRESSED if logit > 0 else UNSTRESSED
+                assess = AssessEntry(logit=logit, prob=prob, label=label)
+                caches.assess.put(assess_key, assess)
+            else:
+                profiling.count(profiling.STAGE_CACHE_HIT)
 
         # --- Highlight -----------------------------------------------
-        highlight_desc = description
-        if highlight_desc is None:
-            highlight_desc = get_describe().description
-        highlight_key = (key, highlight_desc.au_ids, assess.label)
-        highlight = caches.highlight.get(highlight_key)
-        if highlight is None:
-            rationale = model.highlight_from_embed(
-                get_embed(), highlight_desc, assess.label, GREEDY)
-            rendered = (_render_rationale(rationale)
-                        if highlight_desc.au_ids else None)
-            highlight = HighlightEntry(rationale=rationale, rendered=rendered)
-            caches.highlight.put(highlight_key, highlight)
+        with span("chain.highlight"):
+            highlight_desc = description
+            if highlight_desc is None:
+                highlight_desc = get_describe().description
+            highlight_key = (key, highlight_desc.au_ids, assess.label)
+            highlight = caches.highlight.get(highlight_key)
+            if highlight is None:
+                profiling.count(profiling.STAGE_CACHE_MISS)
+                rationale = model.highlight_from_embed(
+                    get_embed(), highlight_desc, assess.label, GREEDY)
+                rendered = (_render_rationale(rationale)
+                            if highlight_desc.au_ids else None)
+                highlight = HighlightEntry(rationale=rationale,
+                                           rendered=rendered)
+                caches.highlight.put(highlight_key, highlight)
+            else:
+                profiling.count(profiling.STAGE_CACHE_HIT)
 
         return _ChainCore(
             description=description,

@@ -41,6 +41,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.observability.metrics import global_metrics
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import StageCaches
 from repro.serving.executor import ChainBatchExecutor
@@ -152,6 +153,10 @@ class StressService:
     def _process_batch(self, videos: list[Video]) -> list[object]:
         outcomes, unique = self.executor.run_batch(videos)
         self._stats.record_batch(size=len(videos), unique=unique)
+        # Live backlog signal, refreshed once per batch (not per
+        # request -- the gauge is a sampling surface, not a counter).
+        global_metrics().gauge("serving.queue_depth").set(
+            self._batcher.queue_depth())
         return outcomes
 
 

@@ -13,6 +13,8 @@ from repro.datasets.instruction import InstructionPair
 from repro.errors import TrainingError
 from repro.model.foundation import FoundationModel
 from repro.nn.optim import Adam
+from repro.observability.metrics import global_metrics
+from repro.observability.tracing import span
 from repro.rng import make_rng
 from repro.training.losses import description_nll
 
@@ -38,31 +40,35 @@ def train_describe(
     """
     if not pairs:
         raise TrainingError("instruction tuning needs at least one pair")
-    features = model.features_matrix([pair.video for pair in pairs])
-    targets = np.stack([pair.description.to_vector() for pair in pairs])
-    optimizer = Adam(
-        model.trunk.parameters() + model.au_head.parameters(), lr=lr
-    )
-    noise_rng = make_rng(seed, "describe-feature-noise")
-    num_patches = features.shape[1] // 2
-    curve: list[float] = []
-    for _ in range(epochs):
-        optimizer.zero_grad()
-        inputs = features
-        if feature_noise > 0:
-            inputs = features + noise_rng.normal(0.0, feature_noise,
-                                                 features.shape)
-        if patch_dropout > 0:
-            keep = noise_rng.random((inputs.shape[0], num_patches)) >= patch_dropout
-            if inputs is features:
-                inputs = features.copy()
-            inputs[:, :num_patches] *= keep
-            inputs[:, num_patches:] *= keep
-        logits = model.au_logits_batch(inputs)
-        loss, grad = description_nll(logits, targets)
-        model.backward_description_batch(grad)
-        optimizer.step()
-        curve.append(loss)
+    with span("train.describe_tuning", epochs=epochs,
+              num_pairs=len(pairs)) as sp:
+        features = model.features_matrix([pair.video for pair in pairs])
+        targets = np.stack([pair.description.to_vector() for pair in pairs])
+        optimizer = Adam(
+            model.trunk.parameters() + model.au_head.parameters(), lr=lr
+        )
+        noise_rng = make_rng(seed, "describe-feature-noise")
+        num_patches = features.shape[1] // 2
+        curve: list[float] = []
+        for _ in range(epochs):
+            optimizer.zero_grad()
+            inputs = features
+            if feature_noise > 0:
+                inputs = features + noise_rng.normal(0.0, feature_noise,
+                                                     features.shape)
+            if patch_dropout > 0:
+                keep = noise_rng.random((inputs.shape[0], num_patches)) >= patch_dropout
+                if inputs is features:
+                    inputs = features.copy()
+                inputs[:, :num_patches] *= keep
+                inputs[:, num_patches:] *= keep
+            logits = model.au_logits_batch(inputs)
+            loss, grad = description_nll(logits, targets)
+            model.backward_description_batch(grad)
+            optimizer.step()
+            curve.append(loss)
+        sp.set("final_loss", curve[-1])
+    global_metrics().gauge("training.describe_loss").set(curve[-1])
     return curve
 
 
@@ -100,6 +106,30 @@ def train_assess(
         raise TrainingError("videos, descriptions and labels must align")
     if not videos:
         raise TrainingError("assessment tuning needs at least one sample")
+    with span("train.assess_tuning", epochs=epochs,
+              num_samples=len(videos)) as sp:
+        curve = _train_assess_epochs(
+            model, videos, descriptions, labels, epochs, lr, weight_decay,
+            feature_noise, patch_dropout, seed, train_au_pathway,
+        )
+        sp.set("final_loss", curve[-1])
+    global_metrics().gauge("training.assess_loss").set(curve[-1])
+    return curve
+
+
+def _train_assess_epochs(
+    model: FoundationModel,
+    videos: list,
+    descriptions: list,
+    labels: np.ndarray,
+    epochs: int,
+    lr: float,
+    weight_decay: float,
+    feature_noise: float,
+    patch_dropout: float,
+    seed: int,
+    train_au_pathway: bool,
+) -> list[float]:
     num_aus = model.au_head.bias.value.shape[0]
     features = model.features_matrix(videos)
     desc_vectors = np.stack([

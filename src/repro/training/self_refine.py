@@ -35,6 +35,9 @@ from repro.errors import TrainingError
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import FoundationModel
 from repro.model.generation import GREEDY, GenerationConfig
+from repro.observability import profiling
+from repro.observability.metrics import global_metrics
+from repro.observability.tracing import span
 from repro.rng import derive_seed
 from repro.training.dpo import (
     DescriptionPreference,
@@ -128,17 +131,26 @@ class SelfRefineTrainer:
 
         # Stages 3-4: description refinement + DPO + assess re-train.
         if config.use_chain and config.use_refinement:
-            descriptions, pairs, rounds = self._refine_descriptions(
-                samples, descriptions, train_data
-            )
-            report.num_description_pairs = len(pairs)
-            report.num_reflection_rounds = rounds
-            if pairs:
-                dpo = DPOTrainer(self.model, beta=config.beta,
-                                 lr=config.dpo_desc_lr)
-                report.dpo_description_curve = dpo.train_descriptions(
-                    pairs, epochs=config.dpo_desc_epochs
+            with span("train.description_refinement") as sp:
+                descriptions, pairs, rounds = self._refine_descriptions(
+                    samples, descriptions, train_data
                 )
+                report.num_description_pairs = len(pairs)
+                report.num_reflection_rounds = rounds
+                sp.set("accepted_pairs", len(pairs))
+                sp.set("reflection_rounds", rounds)
+                if pairs:
+                    dpo = DPOTrainer(self.model, beta=config.beta,
+                                     lr=config.dpo_desc_lr)
+                    report.dpo_description_curve = dpo.train_descriptions(
+                        pairs, epochs=config.dpo_desc_epochs
+                    )
+            metrics = global_metrics()
+            metrics.counter("training.description_pairs").inc(len(pairs))
+            metrics.counter("training.reflection_rounds").inc(rounds)
+            if pairs:
+                # The assess re-train emits its own train.assess_tuning
+                # span, so it stays outside the refinement span.
                 report.assess_curve_final = train_assess(
                     self.model, videos, descriptions, labels,
                     epochs=config.assess_epochs,
@@ -146,14 +158,19 @@ class SelfRefineTrainer:
 
         # Stage 5: rationale refinement + DPO.
         if config.use_refinement:
-            rationale_pairs = self._refine_rationales(samples, descriptions)
-            report.num_rationale_pairs = len(rationale_pairs)
-            if rationale_pairs:
-                dpo = DPOTrainer(self.model, beta=config.beta,
-                                 lr=config.dpo_rationale_lr)
-                report.dpo_rationale_curve = dpo.train_rationales(
-                    rationale_pairs, epochs=config.dpo_rationale_epochs
-                )
+            with span("train.rationale_refinement") as sp:
+                rationale_pairs = self._refine_rationales(samples,
+                                                          descriptions)
+                report.num_rationale_pairs = len(rationale_pairs)
+                sp.set("pairs", len(rationale_pairs))
+                if rationale_pairs:
+                    dpo = DPOTrainer(self.model, beta=config.beta,
+                                     lr=config.dpo_rationale_lr)
+                    report.dpo_rationale_curve = dpo.train_rationales(
+                        rationale_pairs, epochs=config.dpo_rationale_epochs
+                    )
+            global_metrics().counter("training.rationale_pairs").inc(
+                len(rationale_pairs))
         return report
 
     # ------------------------------------------------------------------
@@ -193,6 +210,7 @@ class SelfRefineTrainer:
         refined = list(descriptions)
         pairs: list[DescriptionPreference] = []
         total_rounds = 0
+        accepted = rejected_helpfulness = rejected_verification = 0
         limit = self._refine_limit(len(samples))
         for index in range(limit):
             sample = samples[index]
@@ -230,14 +248,31 @@ class SelfRefineTrainer:
                     num_trials=config.num_trials, seed=cand_seed,
                 )
                 if cand_h >= current_h and cand_f >= current_f:
+                    accepted += 1
                     current, current_h, current_f = candidate, cand_h, cand_f
                 else:
+                    # A candidate may fail either gate (or both); the
+                    # split tells an operator *which* signal is doing
+                    # the rejecting on this dataset.
+                    if cand_h < current_h:
+                        rejected_helpfulness += 1
+                    if cand_f < current_f:
+                        rejected_verification += 1
                     break
             if current != original:
                 refined[index] = current
                 pairs.append(DescriptionPreference(
                     video=sample.video, winner=current, loser=original,
                 ))
+        metrics = global_metrics()
+        metrics.counter("training.refine_accepted").inc(accepted)
+        metrics.counter(
+            "training.refine_rejected_helpfulness").inc(rejected_helpfulness)
+        metrics.counter(
+            "training.refine_rejected_verification").inc(rejected_verification)
+        profiling.count("refine.accepted", accepted)
+        profiling.count("refine.rejected_helpfulness", rejected_helpfulness)
+        profiling.count("refine.rejected_verification", rejected_verification)
         return refined, pairs, total_rounds
 
     def _refine_rationales(

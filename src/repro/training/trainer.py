@@ -13,6 +13,7 @@ from repro.datasets.base import StressDataset
 from repro.datasets.instruction import InstructionPair
 from repro.errors import TrainingError
 from repro.model.foundation import FoundationModel
+from repro.observability.tracing import span
 from repro.rng import make_rng
 from repro.training.self_refine import (
     SelfRefineConfig,
@@ -45,14 +46,27 @@ def train_stress_model(
     train_data: StressDataset,
     instruction_pairs: list[InstructionPair],
     config: SelfRefineConfig | None = None,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> tuple[FoundationModel, TrainingReport]:
     """Initialise and train one model on ``train_data``.
 
     Returns the trained model and the stage-by-stage report.
+
+    Seed precedence: exactly one root seed drives both the model's
+    weight initialisation and every training-stage stream.  An
+    explicit ``seed`` wins -- when a ``config`` is also given with a
+    different ``config.seed``, the config is re-rooted via
+    ``replace(config, seed=seed)``.  With ``seed=None`` (the default)
+    the config's own seed is used.  (Previously the model RNG used
+    ``seed`` while training used ``config.seed``, so the two could
+    silently diverge.)
     """
-    config = config or SelfRefineConfig(seed=seed)
-    model = FoundationModel(make_rng(seed, "foundation-model"))
-    trainer = SelfRefineTrainer(model, config)
-    report = trainer.fit(train_data, instruction_pairs)
+    if config is None:
+        config = SelfRefineConfig(seed=0 if seed is None else seed)
+    elif seed is not None and seed != config.seed:
+        config = replace(config, seed=seed)
+    model = FoundationModel(make_rng(config.seed, "foundation-model"))
+    with span("train.fit", seed=config.seed, num_samples=len(train_data)):
+        trainer = SelfRefineTrainer(model, config)
+        report = trainer.fit(train_data, instruction_pairs)
     return model, report

@@ -100,3 +100,53 @@ class TestFullTraining:
                                          seed=2)
         for name, value in model_a.state_dict().items():
             assert np.allclose(value, model_b.state_dict()[name]), name
+
+
+class TestSeedPrecedence:
+    """train_stress_model must drive the model RNG and every training
+    stage from ONE root seed (the historical bug seeded the model from
+    the ``seed`` argument while training used ``config.seed``)."""
+
+    CONFIG_KW = dict(
+        describe_epochs=4, assess_epochs=6, refine_sample_limit=3,
+        num_trials=2, num_rationale_candidates=2,
+        dpo_desc_epochs=1, dpo_rationale_epochs=1,
+    )
+
+    def test_config_only_uses_config_seed(self, micro_split,
+                                          instruction_pairs):
+        train, __ = micro_split
+        pairs = instruction_pairs[:20]
+        config = SelfRefineConfig(seed=9, **self.CONFIG_KW)
+        model_a, __ = train_stress_model(train, pairs, config)
+        model_b, __ = train_stress_model(train, pairs, config, seed=9)
+        for name, value in model_a.state_dict().items():
+            assert np.array_equal(value, model_b.state_dict()[name]), name
+
+    def test_explicit_seed_overrides_config_seed(self, micro_split,
+                                                 instruction_pairs):
+        train, __ = micro_split
+        pairs = instruction_pairs[:20]
+        conflicted = SelfRefineConfig(seed=1, **self.CONFIG_KW)
+        aligned = SelfRefineConfig(seed=9, **self.CONFIG_KW)
+        model_a, __ = train_stress_model(train, pairs, conflicted, seed=9)
+        model_b, __ = train_stress_model(train, pairs, aligned)
+        for name, value in model_a.state_dict().items():
+            assert np.array_equal(value, model_b.state_dict()[name]), name
+
+    def test_seed_only_call_pattern(self, micro_split, instruction_pairs):
+        train, __ = micro_split
+        pairs = instruction_pairs[:20]
+        config = SelfRefineConfig(seed=4, **self.CONFIG_KW)
+        model_a, __ = train_stress_model(train, pairs, config)
+        model_b, __ = train_stress_model(train, pairs, config, seed=4)
+        model_c, __ = train_stress_model(train, pairs,
+                                         SelfRefineConfig(seed=0,
+                                                          **self.CONFIG_KW),
+                                         seed=4)
+        state_a, state_b, state_c = (model_a.state_dict(),
+                                     model_b.state_dict(),
+                                     model_c.state_dict())
+        for name in state_a:
+            assert np.array_equal(state_a[name], state_b[name]), name
+            assert np.array_equal(state_a[name], state_c[name]), name
