@@ -44,6 +44,13 @@ from repro.observability import (
     install_exporter,
     span,
 )
+from repro.reliability import (
+    BreakerConfig,
+    Deadline,
+    FaultPlan,
+    RetryPolicy,
+    injected,
+)
 from repro.serving import ServiceConfig, StressService
 from repro.training.self_refine import SelfRefineConfig
 from repro.training.trainer import train_stress_model, variant_config
@@ -51,11 +58,15 @@ from repro.training.trainer import train_stress_model, variant_config
 __version__ = "1.0.0"
 
 __all__ = [
+    "BreakerConfig",
     "ChainResult",
+    "Deadline",
     "FacialDescription",
+    "FaultPlan",
     "FoundationModel",
     "MetricsRegistry",
     "Rationale",
+    "RetryPolicy",
     "SelfRefineConfig",
     "ServiceConfig",
     "StressChainPipeline",
@@ -67,6 +78,7 @@ __all__ = [
     "generate_rsl",
     "generate_uvsd",
     "global_metrics",
+    "injected",
     "install_exporter",
     "kfold_splits",
     "load_offtheshelf",

@@ -43,6 +43,11 @@ class ChainResult:
     rationale: Rationale
     session: DialogueSession
     elapsed_seconds: float
+    #: ``True`` when the serving layer answered this request from its
+    #: stage caches alone because the circuit breaker was open (the
+    #: values are still bitwise-identical to a computed chain run; the
+    #: flag only marks *how* they were obtained).
+    degraded: bool = False
 
     @property
     def is_stressed(self) -> bool:

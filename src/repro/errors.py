@@ -50,3 +50,32 @@ class ServiceClosedError(ServingError):
 
 class ServiceOverloadedError(ServingError):
     """Backpressure: the request queue is at ``max_queue_depth``."""
+
+
+class TransientError(ReproError):
+    """A failure that is safe to retry: the operation itself is sound,
+    the attempt hit a passing condition (injected fault, transient
+    resource hiccup).  The reliability layer's retry/circuit-breaker
+    machinery classifies errors as retryable iff they derive from this
+    class; everything else in the taxonomy is treated as fatal."""
+
+
+class FaultInjectedError(TransientError):
+    """Raised by an armed :class:`~repro.reliability.faults.FaultPlan`
+    at a named fault site.  Retryable by design: injected faults model
+    transient infrastructure failures."""
+
+
+class DeadlineExceededError(ServingError):
+    """The request's deadline expired while it was still queued; it was
+    shed before any executor work was spent on it."""
+
+
+class CircuitOpenError(ServingError):
+    """The serving circuit breaker is open and the request could not be
+    served from cache (degraded mode off or cache miss)."""
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint is missing, corrupt, or belongs to a
+    different (config, dataset) fingerprint than the resuming run."""

@@ -23,6 +23,7 @@ from repro.datasets.base import StressDataset, kfold_splits
 from repro.evaluation.parallel import parallel_map
 from repro.observability.metrics import global_metrics
 from repro.observability.tracing import span
+from repro.reliability.faults import fault_point
 from repro.metrics.classification import (
     ClassificationMetrics,
     evaluate_predictions,
@@ -55,6 +56,9 @@ def cross_validate(
         # The span nests under eval.cross_validate on the serial
         # backend and roots its own trace on worker threads/processes.
         with span("eval.fold", fold=fold_index, dataset=dataset.name):
+            # The cv.fold fault site: chaos tests fail a chosen fold to
+            # verify a fold error surfaces instead of corrupting means.
+            fault_point("cv.fold")
             train_idx, test_idx = splits[fold_index]
             train = dataset.subset(train_idx,
                                    f"{dataset.name}-fold{fold_index}-train")

@@ -1,15 +1,68 @@
-"""Command-line entry point: ``python -m repro.experiments <id>``."""
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+Long multi-experiment sessions are resumable: with ``--results-dir``
+each completed experiment's formatted output is persisted as JSON, and
+``--resume`` skips (and replays) experiments whose result file already
+exists for the requested ``(scale, seed)``.  A crash halfway through
+``all`` therefore costs only the interrupted experiment, not the
+completed ones -- the natural companion of the trainer's
+stage-boundary checkpoints (``--checkpoint-dir`` is plumbed separately
+through :func:`repro.training.trainer.train_stress_model`).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.common import ExperimentOptions, SCALES
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.observability.metrics import global_metrics
 from repro.observability.tracing import span
+
+#: Result-file layout version.
+RESULT_VERSION = 1
+
+
+def _result_path(results_dir: Path, experiment_id: str, scale: str,
+                 seed: int) -> Path:
+    return results_dir / f"{experiment_id}_{scale}_seed{seed}.json"
+
+
+def _load_cached_result(path: Path) -> dict | None:
+    """The persisted result document, or ``None`` when absent or
+    unreadable (a truncated file from a crash must not be trusted)."""
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(document, dict) or "text" not in document:
+        return None
+    if document.get("version") != RESULT_VERSION:
+        return None
+    return document
+
+
+def _save_result(path: Path, experiment_id: str, scale: str, seed: int,
+                 result, elapsed: float) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": RESULT_VERSION,
+        "experiment_id": experiment_id,
+        "scale": scale,
+        "seed": seed,
+        "title": result.title,
+        "text": result.text,
+        "elapsed_seconds": elapsed,
+    }
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(path)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,13 +77,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
                         help="dataset/fold sizes (default: quick)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--results-dir", type=Path, default=None,
+        help="persist each completed experiment's output as JSON here",
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=False,
+        help="skip experiments whose result file already exists in "
+             "--results-dir (replaying their recorded output)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.results_dir is None:
+        parser.error("--resume requires --results-dir")
 
     requested = list(args.experiments)
     if requested == ["all"]:
         requested = list(experiment_ids())
     options = ExperimentOptions.at(args.scale, args.seed)
     for experiment_id in requested:
+        if args.results_dir is not None:
+            path = _result_path(args.results_dir, experiment_id,
+                                args.scale, args.seed)
+            if args.resume:
+                cached = _load_cached_result(path)
+                if cached is not None:
+                    print(cached["text"])
+                    print(f"[{experiment_id} resumed from {path}]")
+                    print()
+                    continue
         start = time.perf_counter()
         with span("experiment.run", experiment=experiment_id,
                   scale=args.scale, seed=args.seed):
@@ -39,6 +113,9 @@ def main(argv: list[str] | None = None) -> int:
         metrics = global_metrics()
         metrics.counter("experiments.completed").inc()
         metrics.gauge(f"experiments.{experiment_id}_seconds").set(elapsed)
+        if args.results_dir is not None:
+            _save_result(path, experiment_id, args.scale, args.seed,
+                         result, elapsed)
         print(result.text)
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")
         print()

@@ -54,6 +54,7 @@ from repro.model.instructions import (
 from repro.model.session import DialogueSession
 from repro.nn.layers import Linear, Module, Parameter
 from repro.observability import profiling
+from repro.reliability.faults import fault_point
 from repro.nn.tensorops import sigmoid
 from repro.video.frame import Video
 
@@ -154,6 +155,9 @@ class FoundationModel(Module):
         :meth:`~repro.cot.chain.StressChainPipeline.predict` performs
         -- bitwise-identically, because the per-head math is unchanged.
         """
+        # The model.forward fault site: one check per trunk pass, the
+        # unit of work every served request spends.
+        fault_point("model.forward")
         if profiling.enabled():
             profiling.count(profiling.EMBED)
         return self._embed(self.features(video))

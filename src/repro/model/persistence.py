@@ -16,6 +16,7 @@ import numpy as np
 from repro.cot.chain import StressChainPipeline
 from repro.errors import ModelError
 from repro.model.foundation import FoundationModel
+from repro.reliability.faults import fault_point
 from repro.rng import make_rng
 
 #: Archive format version (bump on layout changes).
@@ -24,6 +25,7 @@ FORMAT_VERSION: int = 1
 
 def save_model(model: FoundationModel, path: str | Path) -> None:
     """Save a model's parameters and architecture to ``path``."""
+    fault_point("persistence.io")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {f"param/{k}": v for k, v in model.state_dict().items()}
@@ -36,6 +38,7 @@ def save_model(model: FoundationModel, path: str | Path) -> None:
 
 def load_model(path: str | Path) -> FoundationModel:
     """Reconstruct a model saved by :func:`save_model`."""
+    fault_point("persistence.io")
     path = Path(path)
     with np.load(path) as archive:
         names = set(archive.files)
@@ -67,6 +70,7 @@ def save_pipeline(pipeline: StressChainPipeline, path: str | Path) -> None:
     Retrievers and verification pools are dataset-bound and are not
     persisted; re-attach them after loading if needed.
     """
+    fault_point("persistence.io")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {

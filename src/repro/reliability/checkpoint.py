@@ -1,0 +1,236 @@
+"""Stage-boundary checkpoints for Algorithm 1.
+
+The self-refine stages are by far the most expensive part of the
+paper's pipeline, so :meth:`SelfRefineTrainer.fit` can persist a
+checkpoint after every completed stage and resume from the last one
+after a crash -- with the resumed run's final model and report
+**bitwise identical** to an uninterrupted run.
+
+Why bitwise identity is achievable at stage granularity: every
+stochastic draw in training comes from a stream freshly derived via
+:func:`repro.rng.derive_seed` from ``(config.seed, scope)`` at the
+point of use -- no RNG state is carried *across* stage boundaries.  A
+stage is therefore a pure function of (model parameters, config,
+training data), and restoring the parameters restores the whole
+computation.  The checkpoint still records the root seed and the
+config/data fingerprint so a resume against a different run is
+rejected instead of silently diverging (see DESIGN.md section 12).
+
+Checkpoints are written atomically (temp file + ``os.replace``), so a
+kill mid-write can never leave a truncated archive that later loads as
+a valid stage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.facs.descriptions import FacialDescription
+from repro.reliability.faults import fault_point
+
+#: Checkpoint archive format version (bump on layout changes).
+CHECKPOINT_VERSION: int = 1
+
+#: Algorithm 1's stage boundaries, in execution order.  A stage a
+#: variant's switches skip is simply never checkpointed; resume skips
+#: every stage with index <= the latest checkpoint's.
+STAGE_NAMES: tuple[str, ...] = (
+    "describe",        # Stage 1: instruction tuning (Eq. 2)
+    "bootstrap",       # Stage 2: initial E_o + bootstrap assess head
+    "describe_dpo",    # Stage 3: reflection loop + description DPO (Eq. 3)
+    "assess_final",    # Stage 4: assess re-train on refined E (Eq. 4)
+    "rationale_dpo",   # Stage 5: rationale ranking + DPO (Eq. 5)
+)
+
+_STAGE_FILE = re.compile(r"stage_(\d{2})_[a-z_]+\.npz$")
+
+_NUM_AUS = 12
+
+
+def training_fingerprint(config, train_data, instruction_pairs) -> str:
+    """Digest of everything a resumed run must share with the original:
+    the full config, the training samples (ids, render seeds, labels),
+    and the instruction-pair count."""
+    payload = {
+        "config": {
+            key: value
+            for key, value in sorted(
+                dataclasses.asdict(config).items())
+        },
+        "samples": [
+            (s.video.video_id, int(s.video.spec.seed), int(s.label))
+            for s in train_data
+        ],
+        "num_instruction_pairs": len(instruction_pairs),
+    }
+    encoded = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.blake2b(encoded.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _encode_descriptions(
+    descriptions: list[FacialDescription | None],
+) -> tuple[np.ndarray, np.ndarray]:
+    """(matrix, none-mask) encoding; AU binary vectors are exact."""
+    matrix = np.zeros((len(descriptions), _NUM_AUS))
+    mask = np.zeros(len(descriptions), dtype=np.int64)
+    for row, desc in enumerate(descriptions):
+        if desc is None:
+            mask[row] = 1
+        else:
+            matrix[row] = desc.to_vector()
+    return matrix, mask
+
+
+def _decode_descriptions(
+    matrix: np.ndarray, mask: np.ndarray,
+) -> list[FacialDescription | None]:
+    return [
+        None if mask[row] else FacialDescription.from_vector(matrix[row])
+        for row in range(matrix.shape[0])
+    ]
+
+
+class TrainingCheckpointer:
+    """Saves/loads one training run's stage-boundary checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``stage_<index>_<name>.npz`` archives live.  Created
+        on first save.
+    fingerprint:
+        The run identity from :func:`training_fingerprint`; a resume
+        whose fingerprint differs raises :class:`CheckpointError`.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str,
+                 seed: int = 0):
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        #: Root RNG seed of the run.  No generator state is carried
+        #: across stage boundaries (module docstring), so the root seed
+        #: *is* the complete RNG stream state at every boundary.
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def stage_path(self, stage_index: int) -> Path:
+        return self.directory / (
+            f"stage_{stage_index:02d}_{STAGE_NAMES[stage_index]}.npz")
+
+    def save_stage(self, stage_index: int, model, report,
+                   descriptions: list[FacialDescription | None] | None,
+                   ) -> Path:
+        """Persist the end-of-stage state atomically."""
+        fault_point("persistence.io")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, np.ndarray] = {
+            f"param/{k}": v for k, v in model.state_dict().items()
+        }
+        payload["meta/version"] = np.array(CHECKPOINT_VERSION)
+        payload["meta/stage_index"] = np.array(stage_index)
+        payload["meta/stage"] = np.array(STAGE_NAMES[stage_index])
+        payload["meta/fingerprint"] = np.array(self.fingerprint)
+        payload["meta/seed"] = np.array(self.seed)
+        for fld in dataclasses.fields(report):
+            value = getattr(report, fld.name)
+            if isinstance(value, list):
+                payload[f"report/{fld.name}"] = np.asarray(value,
+                                                           dtype=np.float64)
+            else:
+                payload[f"report/{fld.name}"] = np.array(int(value))
+        if descriptions is not None:
+            matrix, mask = _encode_descriptions(descriptions)
+            payload["desc/matrix"] = matrix
+            payload["desc/mask"] = mask
+        path = self.stage_path(stage_index)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+
+    def latest_stage(self) -> int | None:
+        """Index of the newest *valid* checkpoint, or ``None``.
+
+        Archives that fail to parse (e.g. a crash landed mid-write
+        before atomic replace existed, or a stray file matches the
+        name pattern) are skipped rather than trusted.
+        """
+        if not self.directory.is_dir():
+            return None
+        best: int | None = None
+        for entry in self.directory.iterdir():
+            match = _STAGE_FILE.search(entry.name)
+            if not match:
+                continue
+            index = int(match.group(1))
+            if best is not None and index <= best:
+                continue
+            if self._valid(entry):
+                best = index
+        return best
+
+    def _valid(self, path: Path) -> bool:
+        try:
+            with np.load(path) as archive:
+                return (
+                    "meta/version" in archive.files
+                    and int(archive["meta/version"]) == CHECKPOINT_VERSION
+                    and str(archive["meta/fingerprint"]) == self.fingerprint
+                )
+        except Exception:  # noqa: BLE001 - any unreadable file is invalid
+            return False
+
+    def load_stage(self, stage_index: int, model, report,
+                   ) -> list[FacialDescription | None] | None:
+        """Restore model parameters and report fields in place; returns
+        the checkpointed descriptions (or ``None`` when the stage
+        predates them)."""
+        fault_point("persistence.io")
+        path = self.stage_path(stage_index)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        with np.load(path) as archive:
+            names = set(archive.files)
+            if "meta/version" not in names:
+                raise CheckpointError(f"{path} is not a training checkpoint")
+            version = int(archive["meta/version"])
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version} "
+                    f"(expected {CHECKPOINT_VERSION})")
+            found = str(archive["meta/fingerprint"])
+            if found != self.fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {path} belongs to a different run "
+                    f"(fingerprint {found[:12]}..., expected "
+                    f"{self.fingerprint[:12]}...); refusing to resume")
+            state = {
+                name[len("param/"):]: archive[name]
+                for name in names if name.startswith("param/")
+            }
+            model.load_state_dict(state)
+            for fld in dataclasses.fields(report):
+                key = f"report/{fld.name}"
+                if key not in names:
+                    continue
+                value = archive[key]
+                if isinstance(getattr(report, fld.name), list):
+                    setattr(report, fld.name, [float(v) for v in value])
+                else:
+                    setattr(report, fld.name, int(value))
+            if "desc/matrix" in names:
+                return _decode_descriptions(archive["desc/matrix"],
+                                            archive["desc/mask"])
+        return None

@@ -13,7 +13,19 @@ immediately with :class:`~repro.errors.ServiceOverloadedError`
 latency).  :meth:`MicroBatcher.close` performs a graceful shutdown by
 default: no new submits are accepted, queued work drains, then the
 worker exits; with ``drain=False`` pending requests fail with
-:class:`~repro.errors.ServiceClosedError` instead.
+:class:`~repro.errors.ServiceClosedError` instead.  ``close`` returns
+whether the worker actually finished within the timeout, so a caller
+can tell a clean drain from a still-running worker whose pending
+futures would otherwise hang silently.
+
+Requests may carry a :class:`~repro.reliability.deadlines.Deadline`:
+after a batch is collected -- before any executor work -- requests
+whose deadline has already expired are *shed* with
+:class:`~repro.errors.DeadlineExceededError`.  Shedding at
+batch-collection time (rather than at submit or inside the executor)
+is deliberate: it is the last instant before model time is spent, so
+the single worker thread never burns a forward pass for a caller that
+has stopped waiting (DESIGN.md section 12).
 
 Because every model call happens on the single worker thread, the
 batcher also *serializes* access to the (stateful-during-forward)
@@ -30,20 +42,23 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import (
     ConfigError,
+    DeadlineExceededError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
 from repro.observability.tracing import span
+from repro.reliability.deadlines import Deadline
 from repro.serving.stats import ServiceStats
 
 
 class _Pending:
-    __slots__ = ("item", "future", "enqueued_at")
+    __slots__ = ("item", "future", "enqueued_at", "deadline")
 
-    def __init__(self, item: Any):
+    def __init__(self, item: Any, deadline: Deadline | None = None):
         self.item = item
         self.future: Future = Future()
         self.enqueued_at = time.monotonic()
+        self.deadline = deadline
 
 
 class MicroBatcher:
@@ -93,9 +108,14 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
 
-    def submit(self, item: Any) -> Future:
-        """Enqueue one item; returns the future of its outcome."""
-        pending = _Pending(item)
+    def submit(self, item: Any, deadline: Deadline | None = None) -> Future:
+        """Enqueue one item; returns the future of its outcome.
+
+        ``deadline`` marks when the caller stops caring: if it expires
+        while the request is still queued, the request is shed with
+        :class:`DeadlineExceededError` instead of executed.
+        """
+        pending = _Pending(item, deadline)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError(
@@ -117,12 +137,20 @@ class MicroBatcher:
         with self._lock:
             return len(self._queue)
 
-    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
         """Stop the batcher.
 
         ``drain=True`` (graceful) processes everything already queued
         before the worker exits; ``drain=False`` fails pending futures
         with :class:`ServiceClosedError`.  Idempotent.
+
+        Returns ``True`` when the worker has fully exited (drain
+        complete, every pending future resolved) and ``False`` when it
+        is still running at ``timeout`` -- in which case pending
+        futures may still be unresolved and the caller should not
+        assume the drain finished.  (Previously this returned ``None``
+        either way, so a timed-out close was indistinguishable from a
+        clean one and hung futures had no signal.)
         """
         with self._lock:
             if not self._closed:
@@ -130,6 +158,7 @@ class MicroBatcher:
                 self._drain_on_close = drain
             self._wakeup.notify_all()
         self._worker.join(timeout)
+        return not self._worker.is_alive()
 
     @property
     def closed(self) -> bool:
@@ -168,9 +197,32 @@ class MicroBatcher:
                 batch.append(self._queue.popleft())
             return batch
 
+    def _shed_expired(self, batch: list[_Pending]) -> list[_Pending]:
+        """Fail already-expired requests; return the still-live rest.
+
+        Runs after collection and before ``on_batch`` -- the last
+        moment before model time is spent -- and outside the queue
+        lock, so a future callback can safely re-enter ``submit``.
+        """
+        now = time.monotonic()
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and pending.deadline.expired(now):
+                if self._stats is not None:
+                    self._stats.record_shed(now - pending.enqueued_at)
+                pending.future.set_exception(DeadlineExceededError(
+                    "deadline expired after "
+                    f"{now - pending.enqueued_at:.3f}s in queue; request "
+                    "shed before execution"))
+            else:
+                live.append(pending)
+        return live
+
     def _run(self) -> None:
         while True:
             batch = self._collect_batch()
+            if batch:
+                batch = self._shed_expired(batch)
             if not batch:
                 with self._lock:
                     if self._closed and not self._queue:

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.facs.descriptions import FacialDescription
+from repro.reliability.faults import fault_point
 from repro.video.frame import Video
 
 
@@ -79,6 +80,7 @@ class LRUCache:
     def get(self, key: Any) -> Any | None:
         """The cached value, or ``None`` on a miss (values are never
         ``None``)."""
+        fault_point("cache.get")
         with self._lock:
             try:
                 value = self._data[key]

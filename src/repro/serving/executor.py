@@ -43,6 +43,7 @@ from repro.model.session import DialogueSession
 from repro.nn.tensorops import sigmoid
 from repro.observability import profiling
 from repro.observability.tracing import span
+from repro.reliability.faults import fault_point
 from repro.serving.cache import (
     AssessEntry,
     DescribeEntry,
@@ -109,6 +110,11 @@ class ChainBatchExecutor:
             sp.set("unique", len(groups))
             for key, indices in groups.items():
                 try:
+                    # The serve.execute fault site fires per unique
+                    # group: an injected fault fails exactly the
+                    # requests of that group (a transient, retryable
+                    # error), never the whole batch.
+                    fault_point("serve.execute")
                     core = self._run_core(videos[indices[0]], key)
                 except Exception as exc:  # noqa: BLE001 - per-request failure
                     for i in indices:
@@ -117,6 +123,59 @@ class ChainBatchExecutor:
                 for i in indices:
                     outcomes[i] = self._materialize(core)
         return outcomes, len(groups)
+
+    def run_cached(self, video: Video):
+        """Cache-only chain run: a :class:`ChainResult` assembled from
+        the stage caches without touching the model, or ``None`` when
+        any stage misses.
+
+        This is the circuit breaker's degraded mode: while the breaker
+        is open the service can still answer requests whose Describe,
+        Assess, *and* Highlight outputs are all cached (they were each
+        produced by the exact serial math, so the values are the
+        bitwise-normal response), flagged ``degraded=True``.  Only
+        supported for the plain pipeline configuration -- test-time
+        refinement and retrieval key their caches on per-request state,
+        so those pipelines fail fast while open instead.
+        """
+        pipeline = self.pipeline
+        if pipeline.test_time_refine or pipeline.retriever is not None:
+            return None
+        start = time.perf_counter()
+        key = self.caches.content_key(video)
+        description = None
+        greedy_render = None
+        if pipeline.use_chain:
+            describe = self.caches.describe.get(key)
+            if describe is None:
+                return None
+            description = describe.description
+            greedy_render = describe.rendered
+        assess = self.caches.assess.get(
+            (key, description.au_ids if description is not None else None,
+             None))
+        if assess is None:
+            return None
+        highlight_desc = description
+        if highlight_desc is None:
+            describe = self.caches.describe.get(key)
+            if describe is None:
+                return None
+            highlight_desc = describe.description
+        highlight = self.caches.highlight.get(
+            (key, highlight_desc.au_ids, assess.label))
+        if highlight is None:
+            return None
+        core = _ChainCore(
+            description=description,
+            greedy_render=greedy_render,
+            label=assess.label,
+            prob=assess.prob,
+            rationale=highlight.rationale,
+            rationale_render=highlight.rendered,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return self._materialize(core, degraded=True)
 
     # ------------------------------------------------------------------
 
@@ -230,7 +289,7 @@ class ChainBatchExecutor:
             elapsed_seconds=time.perf_counter() - start,
         )
 
-    def _materialize(self, core: _ChainCore):
+    def _materialize(self, core: _ChainCore, degraded: bool = False):
         """A fresh :class:`ChainResult` (with its own session) from a
         chain core -- one per request, also for deduplicated ones."""
         from repro.cot.chain import ChainResult, _assess_instruction
@@ -254,6 +313,7 @@ class ChainBatchExecutor:
             rationale=Rationale(core.rationale),
             session=session,
             elapsed_seconds=core.elapsed_seconds,
+            degraded=degraded,
         )
 
 

@@ -12,11 +12,12 @@ Usage::
 
     service = StressService(StressChainPipeline(model))
     try:
-        result = service.predict(video)          # blocking
-        future = service.submit(other_video)     # async
+        result = service.predict(video)                  # blocking
+        future = service.submit(other_video,
+                                deadline_ms=50.0)        # async + deadline
         print(service.stats())
     finally:
-        service.close()                          # graceful drain
+        service.close()                                  # graceful drain
 
 Guarantees:
 
@@ -25,10 +26,19 @@ Guarantees:
 - the queue is bounded -- submits past ``max_queue_depth`` raise
   :class:`~repro.errors.ServiceOverloadedError` instead of growing
   latency without bound;
-- ``close()`` drains in-flight work before returning;
+- a request whose ``deadline_ms`` expires while queued is shed with
+  :class:`~repro.errors.DeadlineExceededError` *before* any model
+  work is spent on it;
+- transient executor failures (:class:`~repro.errors.TransientError`)
+  are retried per-request with seeded exponential backoff; sustained
+  failure trips a circuit breaker that fails fast (or serves
+  cache-only hits flagged ``degraded=True``) instead of hammering a
+  broken executor;
+- ``close()`` drains in-flight work before returning and reports
+  whether the drain actually completed;
 - all model access runs on the single batcher worker thread, which
   serializes the foundation model's forward-pass state (DESIGN.md
-  section 10).
+  sections 10 and 12).
 
 :class:`SerialDispatcher` is the no-batching baseline -- a global
 lock around ``pipeline.predict`` -- used by the throughput benchmark
@@ -38,10 +48,14 @@ and the equivalence tests as the reference dispatch strategy.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import CircuitOpenError, ConfigError
 from repro.observability.metrics import global_metrics
+from repro.reliability.breaker import CLOSED, BreakerConfig, CircuitBreaker
+from repro.reliability.deadlines import Deadline
+from repro.reliability.retry import RetryPolicy, is_retryable
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import StageCaches
 from repro.serving.executor import ChainBatchExecutor
@@ -57,6 +71,15 @@ class ServiceConfig:
     (flush on whichever bound is hit first); ``max_queue_depth`` is
     the backpressure limit; the ``*_cache_capacity`` fields size the
     per-stage LRU caches (0 disables a cache).
+
+    The reliability knobs all default *off* so the hot path stays
+    byte-for-byte the PR-3 serving loop unless a deployment opts in:
+    ``default_deadline_ms`` attaches a deadline to every submit that
+    does not bring its own; ``retry_policy`` retries transient
+    per-request executor failures with seeded backoff; ``breaker``
+    trips on sustained failure, and ``degraded_mode`` lets an open
+    breaker serve cache-only hits (flagged ``degraded=True``) instead
+    of failing everything fast.
     """
 
     max_batch_size: int = 32
@@ -65,6 +88,10 @@ class ServiceConfig:
     describe_cache_capacity: int = 2048
     assess_cache_capacity: int = 4096
     highlight_cache_capacity: int = 4096
+    default_deadline_ms: float | None = None
+    retry_policy: RetryPolicy | None = None
+    breaker: BreakerConfig | None = None
+    degraded_mode: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -81,6 +108,11 @@ class ServiceConfig:
                            "highlight_cache_capacity"):
             if getattr(self, field_name) < 0:
                 raise ConfigError(f"{field_name} must be >= 0")
+        if (self.default_deadline_ms is not None
+                and self.default_deadline_ms <= 0):
+            raise ConfigError(
+                "default_deadline_ms must be positive, "
+                f"got {self.default_deadline_ms}")
 
 
 class StressService:
@@ -95,6 +127,8 @@ class StressService:
         )
         self.executor = ChainBatchExecutor(pipeline, self.caches)
         self._stats = ServiceStats()
+        self._breaker = (CircuitBreaker(self.config.breaker)
+                         if self.config.breaker is not None else None)
         self._batcher = MicroBatcher(
             self._process_batch,
             max_batch_size=self.config.max_batch_size,
@@ -108,10 +142,19 @@ class StressService:
     def pipeline(self):
         return self.executor.pipeline
 
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        return self._breaker
+
     # ------------------------------------------------------------------
 
-    def submit(self, video: Video):
+    def submit(self, video: Video, deadline_ms: float | None = None):
         """Enqueue one request; returns a ``Future[ChainResult]``.
+
+        ``deadline_ms`` bounds how long the caller will wait: a request
+        still queued when its deadline expires is shed with
+        :class:`~repro.errors.DeadlineExceededError` before execution
+        (falls back to ``config.default_deadline_ms`` when ``None``).
 
         Raises
         ------
@@ -120,15 +163,23 @@ class StressService:
         ServiceClosedError
             If the service has been closed.
         """
-        return self._batcher.submit(video)
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = (Deadline.after_ms(deadline_ms)
+                    if deadline_ms is not None else None)
+        return self._batcher.submit(video, deadline=deadline)
 
-    def predict(self, video: Video, timeout: float | None = None):
+    def predict(self, video: Video, timeout: float | None = None,
+                deadline_ms: float | None = None):
         """Blocking predict: submit and wait for the result."""
-        return self.submit(video).result(timeout)
+        return self.submit(video, deadline_ms=deadline_ms).result(timeout)
 
     def stats(self) -> ServiceStatsSnapshot:
         """Current service counters (see :class:`ServiceStatsSnapshot`)."""
-        return self._stats.snapshot(self.caches.stats())
+        breaker_state = (self._breaker.state
+                         if self._breaker is not None else CLOSED)
+        return self._stats.snapshot(self.caches.stats(),
+                                    breaker_state=breaker_state)
 
     def queue_depth(self) -> int:
         return self._batcher.queue_depth()
@@ -137,10 +188,16 @@ class StressService:
     def closed(self) -> bool:
         return self._batcher.closed
 
-    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
         """Shut down; with ``drain=True`` (default) queued requests
-        finish first, with ``drain=False`` they fail fast."""
-        self._batcher.close(drain=drain, timeout=timeout)
+        finish first, with ``drain=False`` they fail fast.
+
+        Returns ``True`` when the worker fully drained and exited
+        within ``timeout``; ``False`` means it is still running and
+        pending futures may remain unresolved (see
+        :meth:`MicroBatcher.close`).
+        """
+        return self._batcher.close(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "StressService":
         return self
@@ -151,12 +208,66 @@ class StressService:
     # ------------------------------------------------------------------
 
     def _process_batch(self, videos: list[Video]) -> list[object]:
-        outcomes, unique = self.executor.run_batch(videos)
+        if self._breaker is not None and not self._breaker.allow():
+            outcomes: list[object] = self._degraded_outcomes(videos)
+            unique = len(videos)
+        else:
+            outcomes, unique = self._execute(videos)
+            if self._breaker is not None:
+                for outcome in outcomes:
+                    self._breaker.record(
+                        not isinstance(outcome, BaseException))
         self._stats.record_batch(size=len(videos), unique=unique)
         # Live backlog signal, refreshed once per batch (not per
         # request -- the gauge is a sampling surface, not a counter).
         global_metrics().gauge("serving.queue_depth").set(
             self._batcher.queue_depth())
+        return outcomes
+
+    def _execute(self, videos: list[Video]) -> tuple[list[object], int]:
+        """One batch through the executor, retrying transient
+        per-request failures under the configured policy."""
+        outcomes, unique = self.executor.run_batch(videos)
+        policy = self.config.retry_policy
+        if policy is None:
+            return outcomes, unique
+        delays = policy.delays_s(scope=f"batch:{self._stats.batches}")
+        for attempt, delay_s in enumerate(delays, start=1):
+            retry_idx = [i for i, outcome in enumerate(outcomes)
+                         if isinstance(outcome, BaseException)
+                         and is_retryable(outcome)]
+            if not retry_idx:
+                break
+            self._stats.record_retries(len(retry_idx))
+            # The worker thread sleeps the backoff; the whole queue
+            # waits with it, which is the point -- a transient fault
+            # needs breathing room, not a hot retry loop.
+            if delay_s > 0:
+                time.sleep(delay_s)
+            retried, __ = self.executor.run_batch(
+                [videos[i] for i in retry_idx])
+            for i, outcome in zip(retry_idx, retried):
+                outcomes[i] = outcome
+        return outcomes, unique
+
+    def _degraded_outcomes(self, videos: list[Video]) -> list[object]:
+        """Breaker-open answers: cache-only hits when degraded mode is
+        on, :class:`CircuitOpenError` otherwise."""
+        outcomes: list[object] = []
+        for video in videos:
+            result = None
+            if self.config.degraded_mode:
+                try:
+                    result = self.executor.run_cached(video)
+                except Exception:  # noqa: BLE001 - cache fault -> miss
+                    result = None
+            if result is not None:
+                self._stats.record_degraded()
+                outcomes.append(result)
+            else:
+                outcomes.append(CircuitOpenError(
+                    "circuit breaker is open and the request is not "
+                    "fully cached; retry after the breaker's open window"))
         return outcomes
 
 
@@ -169,6 +280,10 @@ class SerialDispatcher:
     cache forward activations, so unserialized concurrent calls would
     race on that state.  The throughput benchmark measures the service
     against this dispatcher under identical client load.
+
+    Interface parity with :class:`StressService` includes the context
+    manager protocol, so benchmark and test harnesses can swap the two
+    freely inside ``with`` blocks.
     """
 
     def __init__(self, pipeline):
@@ -179,5 +294,13 @@ class SerialDispatcher:
         with self._lock:
             return self.pipeline.predict(video)
 
-    def close(self) -> None:  # interface parity with StressService
-        """No-op; the dispatcher owns no worker state."""
+    def close(self) -> bool:  # interface parity with StressService
+        """No-op; the dispatcher owns no worker state.  Returns
+        ``True`` (there is never anything left to drain)."""
+        return True
+
+    def __enter__(self) -> "SerialDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -49,6 +49,18 @@ class ServiceStatsSnapshot:
     latency_p50_s: float
     latency_p95_s: float
     cache: dict[str, CacheStats] = field(default_factory=dict)
+    #: Requests shed at batch-collection time because their deadline
+    #: had expired (no executor work was spent on them).  Disjoint from
+    #: ``completed``/``failed``.
+    shed: int = 0
+    #: Requests answered from cache alone while the circuit breaker
+    #: was open (their results carry ``degraded=True``).
+    degraded: int = 0
+    #: Executor retry attempts performed beyond first tries.
+    retries: int = 0
+    #: Circuit breaker state at snapshot time ("closed" when no
+    #: breaker is configured).
+    breaker_state: str = "closed"
     #: Quantiles of the *failed*-request latency window (0.0 when no
     #: failure has been recorded) -- kept out of latency_p50/p95_s.
     failed_latency_p50_s: float = 0.0
@@ -116,6 +128,13 @@ class ServiceStats:
         self._m_failed_latency = registry.histogram("serving.failed_latency_s")
         self._m_queue_wait = registry.histogram("serving.queue_wait_s")
         self._m_execute = registry.histogram("serving.execute_s")
+        self._shed = 0
+        self._degraded = 0
+        self._retries = 0
+        self._m_shed = registry.counter("serving.shed")
+        self._m_shed_wait = registry.histogram("serving.shed_wait_s")
+        self._m_degraded = registry.counter("serving.degraded")
+        self._m_retries = registry.counter("serving.retries")
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -147,6 +166,34 @@ class ServiceStats:
         self._m_queue_wait.observe_many(queue_waits)
         self._m_execute.observe(execute_s)
 
+    @property
+    def batches(self) -> int:
+        """Batches executed so far (names the retry jitter stream)."""
+        with self._lock:
+            return self._batches
+
+    def record_shed(self, queued_s: float) -> None:
+        """One request shed on deadline expiry after ``queued_s`` in
+        queue, before any executor work."""
+        with self._lock:
+            self._shed += 1
+        self._m_shed.inc()
+        self._m_shed_wait.observe(queued_s)
+
+    def record_degraded(self) -> None:
+        """One request answered cache-only while the breaker was open."""
+        with self._lock:
+            self._degraded += 1
+        self._m_degraded.inc()
+
+    def record_retries(self, attempts: int) -> None:
+        """``attempts`` executor retries performed beyond first tries."""
+        if attempts <= 0:
+            return
+        with self._lock:
+            self._retries += attempts
+        self._m_retries.inc(attempts)
+
     def record_completion(self, latency_s: float, failed: bool) -> None:
         with self._lock:
             if failed:
@@ -163,7 +210,7 @@ class ServiceStats:
             self._m_latency.observe(latency_s)
 
     def snapshot(self, cache: dict[str, CacheStats] | None = None,
-                 ) -> ServiceStatsSnapshot:
+                 breaker_state: str = "closed") -> ServiceStatsSnapshot:
         with self._lock:
             ordered = sorted(self._latencies)
             failed_ordered = sorted(self._failed_latencies)
@@ -188,4 +235,8 @@ class ServiceStats:
                 queue_wait_p95_s=_quantile(waits, 0.95),
                 execute_p50_s=_quantile(executes, 0.50),
                 execute_p95_s=_quantile(executes, 0.95),
+                shed=self._shed,
+                degraded=self._degraded,
+                retries=self._retries,
+                breaker_state=breaker_state,
             )

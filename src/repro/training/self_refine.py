@@ -26,12 +26,17 @@ Every ablation in the paper's Tables III-VI is a switch here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.base import Sample, StressDataset
 from repro.datasets.instruction import InstructionPair
 from repro.errors import TrainingError
+from repro.reliability.checkpoint import (
+    TrainingCheckpointer,
+    training_fingerprint,
+)
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import FoundationModel
 from repro.model.generation import GREEDY, GenerationConfig
@@ -107,57 +112,101 @@ class SelfRefineTrainer:
     # ------------------------------------------------------------------
 
     def fit(self, train_data: StressDataset,
-            instruction_pairs: list[InstructionPair]) -> TrainingReport:
-        """Run all stages on ``train_data``; returns a report."""
+            instruction_pairs: list[InstructionPair],
+            checkpoint_dir: str | Path | None = None) -> TrainingReport:
+        """Run all stages on ``train_data``; returns a report.
+
+        With ``checkpoint_dir`` set, a checkpoint (model parameters,
+        partial report, per-sample descriptions) is written after every
+        completed stage, and a later ``fit`` against the same
+        directory, config, and data resumes from the last completed
+        stage -- producing a final model and report **bitwise
+        identical** to an uninterrupted run.  Bitwise identity holds
+        because no RNG state crosses a stage boundary: every stream is
+        freshly derived from ``config.seed`` at its point of use (see
+        :mod:`repro.reliability.checkpoint`).  A checkpoint written by
+        a different config or dataset is rejected with
+        :class:`~repro.errors.CheckpointError`.
+        """
         config = self.config
         report = TrainingReport()
-
-        # Stage 1: learn to describe facial actions (Eq. 2).
-        if config.use_chain and config.learn_describe:
-            report.describe_curve = train_describe(
-                self.model, instruction_pairs, epochs=config.describe_epochs
+        checkpointer: TrainingCheckpointer | None = None
+        completed = -1
+        descriptions: list[FacialDescription | None] = []
+        if checkpoint_dir is not None:
+            checkpointer = TrainingCheckpointer(
+                checkpoint_dir,
+                training_fingerprint(config, train_data, instruction_pairs),
+                seed=config.seed,
             )
+            latest = checkpointer.latest_stage()
+            if latest is not None:
+                restored = checkpointer.load_stage(latest, self.model, report)
+                if restored is not None:
+                    descriptions = restored
+                completed = latest
 
         samples = list(train_data)
         labels = np.array([s.label for s in samples], dtype=np.float64)
         videos = [s.video for s in samples]
 
+        def save(stage_index: int) -> None:
+            if checkpointer is not None:
+                checkpointer.save_stage(stage_index, self.model, report,
+                                        descriptions)
+
+        # Stage 1: learn to describe facial actions (Eq. 2).
+        if completed < 0 and config.use_chain and config.learn_describe:
+            report.describe_curve = train_describe(
+                self.model, instruction_pairs, epochs=config.describe_epochs
+            )
+            save(0)
+
         # Stage 2: initial descriptions + bootstrap assessment head.
-        descriptions = self._initial_descriptions(samples)
-        report.assess_curve_bootstrap = train_assess(
-            self.model, videos, descriptions, labels,
-            epochs=config.assess_epochs,
-        )
+        if completed < 1:
+            descriptions = self._initial_descriptions(samples)
+            report.assess_curve_bootstrap = train_assess(
+                self.model, videos, descriptions, labels,
+                epochs=config.assess_epochs,
+            )
+            save(1)
 
         # Stages 3-4: description refinement + DPO + assess re-train.
         if config.use_chain and config.use_refinement:
-            with span("train.description_refinement") as sp:
-                descriptions, pairs, rounds = self._refine_descriptions(
-                    samples, descriptions, train_data
-                )
-                report.num_description_pairs = len(pairs)
-                report.num_reflection_rounds = rounds
-                sp.set("accepted_pairs", len(pairs))
-                sp.set("reflection_rounds", rounds)
-                if pairs:
-                    dpo = DPOTrainer(self.model, beta=config.beta,
-                                     lr=config.dpo_desc_lr)
-                    report.dpo_description_curve = dpo.train_descriptions(
-                        pairs, epochs=config.dpo_desc_epochs
+            if completed < 2:
+                with span("train.description_refinement") as sp:
+                    descriptions, pairs, rounds = self._refine_descriptions(
+                        samples, descriptions, train_data
                     )
-            metrics = global_metrics()
-            metrics.counter("training.description_pairs").inc(len(pairs))
-            metrics.counter("training.reflection_rounds").inc(rounds)
-            if pairs:
-                # The assess re-train emits its own train.assess_tuning
-                # span, so it stays outside the refinement span.
-                report.assess_curve_final = train_assess(
-                    self.model, videos, descriptions, labels,
-                    epochs=config.assess_epochs,
-                )
+                    report.num_description_pairs = len(pairs)
+                    report.num_reflection_rounds = rounds
+                    sp.set("accepted_pairs", len(pairs))
+                    sp.set("reflection_rounds", rounds)
+                    if pairs:
+                        dpo = DPOTrainer(self.model, beta=config.beta,
+                                         lr=config.dpo_desc_lr)
+                        report.dpo_description_curve = dpo.train_descriptions(
+                            pairs, epochs=config.dpo_desc_epochs
+                        )
+                metrics = global_metrics()
+                metrics.counter("training.description_pairs").inc(len(pairs))
+                metrics.counter("training.reflection_rounds").inc(rounds)
+                save(2)
+            if completed < 3:
+                # The re-train condition survives a resume through the
+                # report: num_description_pairs is exactly len(pairs).
+                if report.num_description_pairs:
+                    # The assess re-train emits its own
+                    # train.assess_tuning span, so it stays outside the
+                    # refinement span.
+                    report.assess_curve_final = train_assess(
+                        self.model, videos, descriptions, labels,
+                        epochs=config.assess_epochs,
+                    )
+                save(3)
 
         # Stage 5: rationale refinement + DPO.
-        if config.use_refinement:
+        if config.use_refinement and completed < 4:
             with span("train.rationale_refinement") as sp:
                 rationale_pairs = self._refine_rationales(samples,
                                                           descriptions)
@@ -171,6 +220,7 @@ class SelfRefineTrainer:
                     )
             global_metrics().counter("training.rationale_pairs").inc(
                 len(rationale_pairs))
+            save(4)
         return report
 
     # ------------------------------------------------------------------

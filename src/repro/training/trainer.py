@@ -47,6 +47,7 @@ def train_stress_model(
     instruction_pairs: list[InstructionPair],
     config: SelfRefineConfig | None = None,
     seed: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> tuple[FoundationModel, TrainingReport]:
     """Initialise and train one model on ``train_data``.
 
@@ -60,6 +61,11 @@ def train_stress_model(
     the config's own seed is used.  (Previously the model RNG used
     ``seed`` while training used ``config.seed``, so the two could
     silently diverge.)
+
+    ``checkpoint_dir`` enables stage-boundary checkpoint/resume (see
+    :meth:`SelfRefineTrainer.fit`): rerunning after a crash with the
+    same directory, config, and data resumes at the last completed
+    stage and yields a bitwise-identical model and report.
     """
     if config is None:
         config = SelfRefineConfig(seed=0 if seed is None else seed)
@@ -68,5 +74,6 @@ def train_stress_model(
     model = FoundationModel(make_rng(config.seed, "foundation-model"))
     with span("train.fit", seed=config.seed, num_samples=len(train_data)):
         trainer = SelfRefineTrainer(model, config)
-        report = trainer.fit(train_data, instruction_pairs)
+        report = trainer.fit(train_data, instruction_pairs,
+                             checkpoint_dir=checkpoint_dir)
     return model, report

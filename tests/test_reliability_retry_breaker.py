@@ -1,0 +1,226 @@
+"""Retry policy and circuit breaker unit tests."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    FaultInjectedError,
+    ModelError,
+    TransientError,
+)
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.reliability.retry import RetryPolicy, is_retryable, retry_call
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Retry
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delays_deterministic_per_scope(self):
+        policy = RetryPolicy(max_attempts=5, seed=3)
+        assert policy.delays_s("batch:1") == policy.delays_s("batch:1")
+        assert policy.delays_s("batch:1") != policy.delays_s("batch:2")
+
+    def test_delays_bounded(self):
+        policy = RetryPolicy(max_attempts=8, base_delay_ms=1.0,
+                             multiplier=4.0, max_delay_ms=10.0, jitter=0.1)
+        delays = policy.delays_s()
+        assert len(delays) == 7
+        for d in delays:
+            assert 0.0 < d <= 0.010 * 1.1
+        # The schedule grows until the cap bites.
+        assert delays[0] < delays[2]
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays_s() == []
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FaultInjectedError("boom")
+            return "ok"
+
+        slept = []
+        result = retry_call(flaky, RetryPolicy(max_attempts=3),
+                            sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3 and len(slept) == 2
+
+    def test_fatal_error_not_retried(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise ModelError("deterministic")
+
+        with pytest.raises(ModelError):
+            retry_call(fatal, RetryPolicy(max_attempts=5), sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_budget_exhaustion_reraises_last(self):
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise FaultInjectedError("again")
+
+        with pytest.raises(FaultInjectedError):
+            retry_call(always, RetryPolicy(max_attempts=3),
+                       sleep=lambda s: None)
+        assert len(calls) == 3
+
+    def test_on_retry_hook_sees_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise FaultInjectedError("x")
+            return 1
+
+        retry_call(flaky, RetryPolicy(max_attempts=2), sleep=lambda s: None,
+                   on_retry=lambda attempt, exc: seen.append((attempt, exc)))
+        assert len(seen) == 1
+        assert seen[0][0] == 1 and isinstance(seen[0][1], FaultInjectedError)
+
+    def test_classification_rule(self):
+        assert is_retryable(FaultInjectedError("x"))
+        assert is_retryable(TransientError("x"))
+        assert not is_retryable(ModelError("x"))
+        assert not is_retryable(ValueError("x"))
+
+
+# ----------------------------------------------------------------------
+# Breaker
+# ----------------------------------------------------------------------
+
+
+def _tripped_breaker(clock, **overrides):
+    kwargs = dict(window=8, failure_threshold=0.5, min_volume=4,
+                  open_duration_s=1.0, half_open_probes=2)
+    kwargs.update(overrides)
+    breaker = CircuitBreaker(BreakerConfig(**kwargs), clock=clock,
+                             name="test")
+    for _ in range(4):
+        breaker.record(False)
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(window=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(min_volume=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestBreaker:
+    def test_stays_closed_under_min_volume(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(min_volume=8, window=8), clock=FakeClock(),
+            name="test")
+        for _ in range(7):
+            breaker.record(False)
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_trips_on_failure_rate(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        assert not breaker.allow()
+
+    def test_successes_keep_it_closed(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(window=8, failure_threshold=0.5, min_volume=4),
+            clock=FakeClock(), name="test")
+        for i in range(20):
+            breaker.record(i % 3 == 0)  # 2/3 failures would trip...
+        assert breaker.state == OPEN  # ...and does
+        breaker = CircuitBreaker(
+            BreakerConfig(window=8, failure_threshold=0.5, min_volume=4),
+            clock=FakeClock(), name="test")
+        for i in range(20):
+            breaker.record(i % 4 != 0)  # 1/4 failures stays under 0.5
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(0.5)
+        assert breaker.state == OPEN
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_bounded_probes(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=2)
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probe budget spent
+
+    def test_all_probes_succeed_closes(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=2)
+        clock.advance(1.1)
+        assert breaker.allow() and breaker.allow()
+        breaker.record(True)
+        assert breaker.state == HALF_OPEN
+        breaker.record(True)
+        assert breaker.state == CLOSED
+        # The window was reset: old failures don't linger.
+        breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # And the cooldown restarts from the re-open instant.
+        clock.advance(1.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_straggler_outcome_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        breaker.record(True)  # admitted pre-trip, lands post-trip
+        assert breaker.state == OPEN

@@ -1,7 +1,11 @@
 """Tests for the experiment CLI."""
 
+import json
+from types import SimpleNamespace
+
 import pytest
 
+import repro.experiments.runner as runner
 from repro.experiments.runner import main
 
 
@@ -21,3 +25,58 @@ class TestCli:
             main(["--help"])
         out = capsys.readouterr().out
         assert "table1" in out and "fig8" in out
+
+
+@pytest.fixture()
+def fake_experiment(monkeypatch):
+    """Replace the (expensive) experiment body with a counted stub."""
+    calls = []
+
+    def stub(experiment_id, options):
+        calls.append(experiment_id)
+        return SimpleNamespace(title=f"Fake {experiment_id}",
+                               text=f"fake output of {experiment_id}")
+
+    monkeypatch.setattr(runner, "run_experiment", stub)
+    return calls
+
+
+class TestResume:
+    def test_resume_requires_results_dir(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--resume"])
+
+    def test_results_persisted(self, fake_experiment, tmp_path, capsys):
+        assert main(["fig6", "--results-dir", str(tmp_path)]) == 0
+        path = tmp_path / "fig6_quick_seed0.json"
+        document = json.loads(path.read_text())
+        assert document["version"] == runner.RESULT_VERSION
+        assert document["experiment_id"] == "fig6"
+        assert document["text"] == "fake output of fig6"
+        assert fake_experiment == ["fig6"]
+
+    def test_resume_replays_completed_and_runs_missing(
+            self, fake_experiment, tmp_path, capsys):
+        main(["fig6", "--results-dir", str(tmp_path)])
+        capsys.readouterr()
+        # fig6 is replayed from disk; fig7 actually runs.
+        main(["fig6", "fig7", "--results-dir", str(tmp_path), "--resume"])
+        out = capsys.readouterr().out
+        assert "fake output of fig6" in out and "resumed from" in out
+        assert "fake output of fig7" in out
+        assert fake_experiment == ["fig6", "fig7"]
+
+    def test_resume_distrusts_corrupt_file(self, fake_experiment, tmp_path):
+        path = tmp_path / "fig6_quick_seed0.json"
+        path.write_text("{ truncated by a cra")
+        main(["fig6", "--results-dir", str(tmp_path), "--resume"])
+        assert fake_experiment == ["fig6"]  # the stub ran despite the file
+        # And the corrupt file was replaced by a valid one.
+        assert json.loads(path.read_text())["version"] == runner.RESULT_VERSION
+
+    def test_resume_is_scale_and_seed_specific(self, fake_experiment,
+                                               tmp_path):
+        main(["fig6", "--results-dir", str(tmp_path)])
+        main(["fig6", "--results-dir", str(tmp_path), "--resume",
+              "--seed", "1"])
+        assert fake_experiment == ["fig6", "fig6"]  # different seed reran

@@ -1,0 +1,170 @@
+"""Checkpoint-resume training: round-trips, rejection, bitwise resume."""
+
+import dataclasses
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_instruction_pairs, generate_disfa, generate_uvsd
+from repro.errors import CheckpointError
+from repro.model.foundation import FoundationModel
+from repro.reliability.checkpoint import (
+    STAGE_NAMES,
+    TrainingCheckpointer,
+    training_fingerprint,
+)
+from repro.rng import make_rng
+from repro.training.self_refine import SelfRefineConfig, TrainingReport
+from repro.training.trainer import train_stress_model
+
+#: Deliberately tiny run: every stage executes, nothing takes long.
+TINY_CONFIG = SelfRefineConfig(
+    describe_epochs=8,
+    assess_epochs=10,
+    refine_sample_limit=4,
+    num_trials=2,
+    num_rationale_candidates=2,
+    max_reflection_rounds=2,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return generate_uvsd(seed=11, num_samples=16, num_subjects=4)
+
+
+@pytest.fixture(scope="module")
+def tiny_pairs():
+    return build_instruction_pairs(
+        generate_disfa(seed=11, num_samples=20, num_subjects=4))
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_data, tiny_pairs, tmp_path_factory):
+    """(model, report, checkpoint_dir) of one uninterrupted run that
+    wrote a checkpoint at every stage boundary."""
+    directory = tmp_path_factory.mktemp("ckpt-baseline")
+    model, report = train_stress_model(tiny_data, tiny_pairs, TINY_CONFIG,
+                                       checkpoint_dir=str(directory))
+    return model, report, directory
+
+
+def _assert_same_model(a: FoundationModel, b: FoundationModel) -> None:
+    state_a, state_b = a.state_dict(), b.state_dict()
+    assert state_a.keys() == state_b.keys()
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), name
+
+
+class TestFingerprint:
+    def test_stable(self, tiny_data, tiny_pairs):
+        assert (training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs)
+                == training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs))
+
+    def test_config_changes_it(self, tiny_data, tiny_pairs):
+        other = dataclasses.replace(TINY_CONFIG, assess_epochs=11)
+        assert (training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs)
+                != training_fingerprint(other, tiny_data, tiny_pairs))
+
+    def test_data_changes_it(self, tiny_data, tiny_pairs):
+        other = generate_uvsd(seed=12, num_samples=16, num_subjects=4)
+        assert (training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs)
+                != training_fingerprint(TINY_CONFIG, other, tiny_pairs))
+
+
+class TestCheckpointer:
+    def test_round_trip(self, baseline, tiny_data, tiny_pairs, tmp_path):
+        model, report, __ = baseline
+        fingerprint = training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs)
+        saver = TrainingCheckpointer(tmp_path, fingerprint, seed=11)
+        saver.save_stage(4, model, report, None)
+
+        restored_model = FoundationModel(make_rng(99, "other-init"))
+        restored_report = TrainingReport()
+        saver.load_stage(4, restored_model, restored_report)
+        _assert_same_model(model, restored_model)
+        assert restored_report == report
+
+    def test_descriptions_round_trip(self, baseline, tiny_data, tiny_pairs,
+                                     tmp_path):
+        from repro.model.generation import GREEDY
+
+        model, report, __ = baseline
+        descriptions = [model.describe(s.video, GREEDY)
+                        for s in list(tiny_data)[:3]] + [None]
+        fingerprint = training_fingerprint(TINY_CONFIG, tiny_data, tiny_pairs)
+        saver = TrainingCheckpointer(tmp_path, fingerprint)
+        saver.save_stage(1, model, report, descriptions)
+        restored = saver.load_stage(1, FoundationModel(make_rng(0, "m")),
+                                    TrainingReport())
+        assert restored == descriptions
+
+    def test_fingerprint_mismatch_rejected(self, baseline, tmp_path):
+        model, report, __ = baseline
+        TrainingCheckpointer(tmp_path, "aaaa").save_stage(
+            0, model, report, None)
+        other = TrainingCheckpointer(tmp_path, "bbbb")
+        assert other.latest_stage() is None  # invalid files are skipped
+        with pytest.raises(CheckpointError):
+            other.load_stage(0, model, report)
+
+    def test_missing_stage_rejected(self, tmp_path):
+        saver = TrainingCheckpointer(tmp_path, "aaaa")
+        with pytest.raises(CheckpointError):
+            saver.load_stage(2, FoundationModel(make_rng(0, "m")),
+                             TrainingReport())
+
+    def test_latest_ignores_tmp_and_garbage(self, baseline, tmp_path):
+        model, report, __ = baseline
+        saver = TrainingCheckpointer(tmp_path, "aaaa")
+        saver.save_stage(1, model, report, None)
+        # A crash mid-write leaves a .tmp; a stray file matches the
+        # stage pattern but holds garbage.  Neither may win.
+        (tmp_path / "stage_03_assess_final.npz.tmp").write_bytes(b"partial")
+        (tmp_path / "stage_04_rationale_dpo.npz").write_bytes(b"garbage")
+        assert saver.latest_stage() == 1
+
+    def test_empty_directory_has_no_stage(self, tmp_path):
+        assert TrainingCheckpointer(tmp_path, "aaaa").latest_stage() is None
+
+
+class TestBitwiseResume:
+    def test_checkpointing_does_not_perturb_training(self, baseline,
+                                                     tiny_data, tiny_pairs):
+        model, report, __ = baseline
+        plain_model, plain_report = train_stress_model(
+            tiny_data, tiny_pairs, TINY_CONFIG)
+        _assert_same_model(model, plain_model)
+        assert report == plain_report
+
+    def test_every_stage_checkpointed(self, baseline):
+        __, __, directory = baseline
+        names = sorted(p.name for p in directory.glob("stage_*.npz"))
+        assert names == [
+            f"stage_{i:02d}_{name}.npz" for i, name in enumerate(STAGE_NAMES)
+        ]
+
+    @pytest.mark.parametrize("stage", range(len(STAGE_NAMES)))
+    def test_resume_after_any_stage_is_bitwise_identical(
+            self, stage, baseline, tiny_data, tiny_pairs, tmp_path):
+        """A kill right after stage ``stage``'s checkpoint landed:
+        only checkpoints <= stage exist, and rerunning finishes the
+        remaining stages to the exact uninterrupted result."""
+        model, report, directory = baseline
+        for index in range(stage + 1):
+            name = f"stage_{index:02d}_{STAGE_NAMES[index]}.npz"
+            shutil.copy(directory / name, tmp_path / name)
+        resumed_model, resumed_report = train_stress_model(
+            tiny_data, tiny_pairs, TINY_CONFIG, checkpoint_dir=str(tmp_path))
+        _assert_same_model(model, resumed_model)
+        assert resumed_report == report
+
+    def test_resume_of_finished_run_is_a_noop(self, baseline, tiny_data,
+                                              tiny_pairs):
+        model, report, directory = baseline
+        resumed_model, resumed_report = train_stress_model(
+            tiny_data, tiny_pairs, TINY_CONFIG, checkpoint_dir=str(directory))
+        _assert_same_model(model, resumed_model)
+        assert resumed_report == report
