@@ -19,12 +19,21 @@ Quickstart::
     train, test = train_test_split(dataset)
     pairs = build_instruction_pairs(generate_disfa(num_samples=300))
     model, report = train_stress_model(train, pairs)
-    pipeline = StressChainPipeline(model)
+    pipeline = StressPipeline(model)
     result = pipeline.predict(test[0].video)
     print(result.label, result.rationale.render())
+
+Every error the library raises derives from :class:`ReproError`; every
+``REPRO_*`` environment variable is read through
+:func:`~repro.config.settings` (see the README's configuration table).
 """
 
-from repro.cot.chain import ChainResult, StressChainPipeline
+from repro.config import ENV_VARS, Settings, settings
+from repro.cot.chain import (
+    ChainResult,
+    StressChainPipeline,
+    StressPipeline,
+)
 from repro.cot.rationale import Rationale
 from repro.datasets import (
     build_instruction_pairs,
@@ -34,10 +43,32 @@ from repro.datasets import (
     kfold_splits,
     train_test_split,
 )
+from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
+    ConfigError,
+    DatasetError,
+    DeadlineExceededError,
+    DeploymentError,
+    ExperimentError,
+    ExplainerError,
+    FaultInjectedError,
+    GenerationError,
+    ModelError,
+    PoolError,
+    RegistryError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+    TrainingError,
+    TransientError,
+)
 from repro.facs.descriptions import FacialDescription
 from repro.metrics.classification import evaluate_predictions
 from repro.model.foundation import FoundationModel
 from repro.model.pretrained import available_vendors, load_offtheshelf
+from repro.model.registry import ModelRegistry
 from repro.observability import (
     MetricsRegistry,
     global_metrics,
@@ -51,26 +82,58 @@ from repro.reliability import (
     RetryPolicy,
     injected,
 )
-from repro.serving import ServiceConfig, StressService
+from repro.serving import (
+    Deployment,
+    PoolStatsSnapshot,
+    ReplicaPool,
+    ServiceConfig,
+    StressService,
+)
 from repro.training.self_refine import SelfRefineConfig
 from repro.training.trainer import train_stress_model, variant_config
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BreakerConfig",
     "ChainResult",
+    "CheckpointError",
+    "CircuitOpenError",
+    "ConfigError",
+    "DatasetError",
     "Deadline",
+    "DeadlineExceededError",
+    "Deployment",
+    "DeploymentError",
+    "ENV_VARS",
+    "ExperimentError",
+    "ExplainerError",
     "FacialDescription",
+    "FaultInjectedError",
     "FaultPlan",
     "FoundationModel",
+    "GenerationError",
     "MetricsRegistry",
+    "ModelError",
+    "ModelRegistry",
+    "PoolError",
+    "PoolStatsSnapshot",
     "Rationale",
+    "RegistryError",
+    "ReplicaPool",
+    "ReproError",
     "RetryPolicy",
     "SelfRefineConfig",
+    "ServiceClosedError",
     "ServiceConfig",
+    "ServiceOverloadedError",
+    "ServingError",
+    "Settings",
     "StressChainPipeline",
+    "StressPipeline",
     "StressService",
+    "TrainingError",
+    "TransientError",
     "available_vendors",
     "build_instruction_pairs",
     "evaluate_predictions",
@@ -82,6 +145,7 @@ __all__ = [
     "install_exporter",
     "kfold_splits",
     "load_offtheshelf",
+    "settings",
     "span",
     "train_stress_model",
     "train_test_split",

@@ -19,13 +19,15 @@ from dataclasses import dataclass
 
 from repro.cot.incontext import incontext_logit_shift
 from repro.cot.rationale import Rationale
-from repro.errors import ModelError
+from repro.deprecation import warn_deprecated
+from repro.errors import DeadlineExceededError, ModelError
 from repro.facs.descriptions import FacialDescription
 from repro.model.foundation import STRESSED, UNSTRESSED, FoundationModel
 from repro.model.generation import GREEDY, GenerationConfig
 from repro.model.session import DialogueSession
 from repro.nn.tensorops import sigmoid
 from repro.observability.tracing import span
+from repro.reliability.deadlines import Deadline
 from repro.rng import derive_seed
 from repro.training.verification import verification_score
 from repro.video.frame import Video
@@ -105,8 +107,35 @@ class StressChainPipeline:
 
     # ------------------------------------------------------------------
 
-    def predict(self, video: Video) -> ChainResult:
-        """Run the chain on one video."""
+    def predict(self, video: Video, *, explain: bool = True,
+                deadline_ms: float | None = None) -> ChainResult:
+        """Run the chain on one video.
+
+        This is the library's one serial prediction entry point (the
+        served twins are :meth:`StressService.predict`/``submit``).
+        With the keyword defaults the math is exactly the paper's
+        chain -- the golden fixtures and the serving equivalence suite
+        pin it bitwise.
+
+        Parameters
+        ----------
+        video:
+            The clip to assess.
+        explain:
+            ``False`` skips the Highlight stage: the result carries an
+            empty rationale (and no I3 dialogue turn) in exchange for
+            roughly a third less model work.  Label and probability
+            are unchanged.
+        deadline_ms:
+            Best-effort compute budget, checked at stage boundaries:
+            if the budget is exhausted before the result is complete,
+            :class:`~repro.errors.DeadlineExceededError` is raised
+            rather than burning further model time.  (The serving
+            layer's ``deadline_ms`` sheds *queued* requests; this is
+            the serial analogue for offline sweeps.)
+        """
+        deadline = (Deadline.after_ms(deadline_ms)
+                    if deadline_ms is not None else None)
         start = time.perf_counter()
         session = DialogueSession()
 
@@ -118,6 +147,7 @@ class StressChainPipeline:
                 )
                 if self.test_time_refine:
                     description = self._refine_description(video, description)
+            _check_deadline(deadline, "Describe")
 
         with span("chain.assess", use_chain=self.use_chain):
             logit = self.model.assess_logit(video, description)
@@ -137,15 +167,18 @@ class StressChainPipeline:
                 "Stressed" if label == STRESSED else "Unstressed",
             )
 
-        with span("chain.highlight"):
-            highlight_desc = description
-            if highlight_desc is None:
-                # w/o Chain still answers I3; it reads its greedy AU
-                # estimate off the video when asked to point at cues.
-                highlight_desc = self.model.describe(video, GREEDY)
-            rationale = Rationale(self.model.highlight(
-                video, highlight_desc, label, GREEDY, session=session,
-            ))
+        rationale = Rationale(())
+        if explain:
+            _check_deadline(deadline, "Assess")
+            with span("chain.highlight"):
+                highlight_desc = description
+                if highlight_desc is None:
+                    # w/o Chain still answers I3; it reads its greedy AU
+                    # estimate off the video when asked to point at cues.
+                    highlight_desc = self.model.describe(video, GREEDY)
+                rationale = Rationale(self.model.highlight(
+                    video, highlight_desc, label, GREEDY, session=session,
+                ))
 
         elapsed = time.perf_counter() - start
         return ChainResult(
@@ -157,12 +190,8 @@ class StressChainPipeline:
             elapsed_seconds=elapsed,
         )
 
-    def run(self, video: Video) -> ChainResult:
-        """Alias of :meth:`predict` (the serving layer's verb)."""
-        return self.predict(video)
-
-    def run_many(self, videos: list[Video], batch_size: int = 32,
-                 caches=None) -> list[ChainResult]:
+    def predict_many(self, videos: list[Video], *, batch_size: int = 32,
+                     caches=None) -> list[ChainResult]:
         """Run the chain over many videos through the serving batch
         executor: duplicate contents are computed once per batch, and
         the per-stage caches share Describe/Assess work across the
@@ -196,6 +225,21 @@ class StressChainPipeline:
                     raise outcome
                 results.append(outcome)
         return results
+
+    # -- deprecated aliases (kept for one release cycle) ----------------
+
+    def run(self, video: Video) -> ChainResult:
+        """Deprecated alias of :meth:`predict`."""
+        warn_deprecated("StressChainPipeline.run",
+                        "StressChainPipeline.predict")
+        return self.predict(video)
+
+    def run_many(self, videos: list[Video], batch_size: int = 32,
+                 caches=None) -> list[ChainResult]:
+        """Deprecated alias of :meth:`predict_many`."""
+        warn_deprecated("StressChainPipeline.run_many",
+                        "StressChainPipeline.predict_many")
+        return self.predict_many(videos, batch_size=batch_size, caches=caches)
 
     # ------------------------------------------------------------------
 
@@ -232,6 +276,19 @@ class StressChainPipeline:
             num_trials=self.num_verify_trials,
             seed=derive_seed(self.seed, f"ttv:{video.video_id}:{round_index}"),
         )
+
+
+#: The facade name the public API exports: ``repro.StressPipeline`` is
+#: the documented way to reach the chain pipeline (the historical
+#: ``StressChainPipeline`` name remains valid -- it is the same class).
+StressPipeline = StressChainPipeline
+
+
+def _check_deadline(deadline: Deadline | None, stage: str) -> None:
+    if deadline is not None and deadline.expired():
+        raise DeadlineExceededError(
+            f"predict deadline expired after the {stage} stage; "
+            "no further model work was spent")
 
 
 def _assess_instruction(use_chain: bool):

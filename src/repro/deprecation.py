@@ -1,0 +1,46 @@
+"""Once-per-process deprecation warnings.
+
+The public API keeps a few thin aliases alive for one release cycle
+(``StressChainPipeline.run`` / ``run_many`` -> ``predict`` /
+``predict_many``).  Each alias funnels through :func:`warn_deprecated`,
+which emits exactly one :class:`DeprecationWarning` per alias per
+process -- loud enough to notice, quiet enough not to spam a serving
+loop that calls the alias a million times.
+
+Internal code is *forbidden* from using deprecated aliases: the CI
+``api`` job runs the suite with ``-W error::DeprecationWarning``, so
+any internal call through an alias fails the build.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+_warned: set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_deprecated(alias: str, replacement: str,
+                    removal_hint: str = "a future release") -> None:
+    """Emit one :class:`DeprecationWarning` for ``alias`` (per process).
+
+    ``replacement`` names the migration target; subsequent calls for
+    the same alias are silent so hot loops are not flooded.
+    """
+    with _lock:
+        if alias in _warned:
+            return
+        _warned.add(alias)
+    warnings.warn(
+        f"{alias} is deprecated and will be removed in {removal_hint}; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_warned() -> None:
+    """Forget which aliases already warned (test isolation only)."""
+    with _lock:
+        _warned.clear()

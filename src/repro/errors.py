@@ -7,6 +7,28 @@ masking programming errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+__all__ = [
+    "CheckpointError",
+    "CircuitOpenError",
+    "ConfigError",
+    "DatasetError",
+    "DeadlineExceededError",
+    "DeploymentError",
+    "ExperimentError",
+    "ExplainerError",
+    "FaultInjectedError",
+    "GenerationError",
+    "ModelError",
+    "PoolError",
+    "RegistryError",
+    "ReproError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServingError",
+    "TrainingError",
+    "TransientError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -79,3 +101,19 @@ class CircuitOpenError(ServingError):
 class CheckpointError(ReproError):
     """A training checkpoint is missing, corrupt, or belongs to a
     different (config, dataset) fingerprint than the resuming run."""
+
+
+class PoolError(ServingError):
+    """The replica pool was used in an unsupported way (bad replica
+    count, closed pool, unknown replica backend)."""
+
+
+class RegistryError(ModelError):
+    """A model-registry artifact is missing, corrupt, or fails its
+    recorded integrity digest."""
+
+
+class DeploymentError(PoolError):
+    """A versioned deploy could not complete -- the canary's circuit
+    breaker tripped (the canaries were rolled back), or the requested
+    version is not loadable on every replica."""

@@ -20,9 +20,9 @@ its fold index, so no stream is shared across concurrently-running
 items.
 
 Worker count resolution: an explicit ``num_workers`` argument wins,
-then the ``REPRO_NUM_WORKERS`` environment variable, then the machine's
-CPU count.  The default backend may likewise be set with
-``REPRO_PARALLEL_BACKEND``.
+then the ``REPRO_NUM_WORKERS`` environment variable (read through
+:func:`repro.config.settings`), then the machine's CPU count.  The
+default backend may likewise be set with ``REPRO_PARALLEL_BACKEND``.
 """
 
 from __future__ import annotations
@@ -35,15 +35,19 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, TypeVar
 
+from repro.config import BACKEND_ENV, NUM_WORKERS_ENV, settings
 from repro.errors import ConfigError
 
 T = TypeVar("T")
 
-#: Environment variable naming the default worker count.
-NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
-
-#: Environment variable naming the default backend.
-BACKEND_ENV = "REPRO_PARALLEL_BACKEND"
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "NUM_WORKERS_ENV",
+    "parallel_map",
+    "resolve_backend",
+    "resolve_num_workers",
+]
 
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
@@ -53,7 +57,7 @@ def resolve_backend(backend: str | None = None) -> str:
     """Pick the execution backend: explicit argument, then the
     ``REPRO_PARALLEL_BACKEND`` environment variable, then serial."""
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV) or "serial"
+        backend = settings().parallel_backend or "serial"
     if backend not in BACKENDS:
         raise ConfigError(
             f"unknown parallel backend {backend!r}; known: {BACKENDS}"
@@ -69,15 +73,8 @@ def resolve_num_workers(num_workers: int | None = None) -> int:
     """Pick the worker count: explicit argument, then the
     ``REPRO_NUM_WORKERS`` environment variable, then the CPU count."""
     if num_workers is None:
-        env = os.environ.get(NUM_WORKERS_ENV)
-        if env is not None:
-            try:
-                num_workers = int(env)
-            except ValueError:
-                raise ConfigError(
-                    f"{NUM_WORKERS_ENV} must be an integer, got {env!r}"
-                ) from None
-        else:
+        num_workers = settings().num_workers
+        if num_workers is None:
             num_workers = os.cpu_count() or 1
     if num_workers < 1:
         raise ConfigError(f"num_workers must be positive, got {num_workers}")

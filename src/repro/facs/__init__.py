@@ -24,10 +24,10 @@ from repro.facs.stress_priors import StressPrior, default_stress_prior
 
 __all__ = [
     "AU_IDS",
-    "NUM_AUS",
     "ActionUnit",
     "FacialDescription",
     "FacialRegion",
+    "NUM_AUS",
     "REGIONS",
     "StressPrior",
     "all_action_units",

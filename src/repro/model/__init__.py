@@ -24,6 +24,7 @@ from repro.model.instructions import (
     VERIFY_INSTRUCTION,
 )
 from repro.model.pretrained import available_vendors, load_offtheshelf
+from repro.model.registry import ModelRegistry
 from repro.model.session import DialogueSession
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "GenerationConfig",
     "HIGHLIGHT_INSTRUCTION",
     "Instruction",
+    "ModelRegistry",
     "REFLECT_DESCRIPTION_INSTRUCTION",
     "REFLECT_RATIONALE_INSTRUCTION",
     "VERIFY_INSTRUCTION",

@@ -622,6 +622,24 @@ class FoundationModel(Module):
         clone._feature_cache = dict(self._feature_cache)
         return clone
 
+    def fingerprint(self) -> str:
+        """SHA-256 over the architecture and every parameter byte.
+
+        Equal fingerprints imply the two models compute bitwise-equal
+        forward passes; the registry and the replica pool use this to
+        assert which weights a replica is actually serving.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(f"{self.embed_dim}:{self.grid}".encode())
+        for name in sorted(state := self.state_dict()):
+            value = np.ascontiguousarray(state[name], dtype=np.float64)
+            digest.update(name.encode())
+            digest.update(str(value.shape).encode())
+            digest.update(value.tobytes())
+        return digest.hexdigest()
+
 
 def _description_matrix(
     descriptions: np.ndarray | list[FacialDescription | None] | None,

@@ -9,6 +9,7 @@ pickle security surface.
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +22,20 @@ from repro.rng import make_rng
 
 #: Archive format version (bump on layout changes).
 FORMAT_VERSION: int = 1
+
+
+def file_digest(path: str | Path) -> str:
+    """Streaming SHA-256 hex digest of an artifact file.
+
+    The model registry records this at publish time and re-checks it at
+    load time, so a truncated or bit-flipped archive is refused instead
+    of silently deserialized into wrong weights.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def save_model(model: FoundationModel, path: str | Path) -> None:

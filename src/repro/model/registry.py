@@ -1,0 +1,193 @@
+"""Versioned model artifacts: the registry behind hot-swap deploys.
+
+A :class:`ModelRegistry` is a directory of immutable, named pipeline
+versions::
+
+    registry/
+        v1/
+            pipeline.npz      # the persistence-layer archive
+            manifest.json     # integrity digest + format metadata
+        v2/
+            ...
+
+Each version is published atomically (archive written to a temp name,
+digest recorded, then renamed into place), is refused on load when its
+SHA-256 digest no longer matches the manifest, and is never mutated --
+"deploy v2" means loading a different directory, not rewriting files a
+live replica may be reading.  That immutability is what makes
+:meth:`ReplicaPool.deploy <repro.serving.pool.ReplicaPool.deploy>`
+safe: a rollback is just a re-load of the previous version's artifact.
+
+Version names order *naturally* (``v2`` before ``v10``), so
+:meth:`ModelRegistry.latest` does what a deploy script expects.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import RegistryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: chain -> model pkg
+    from repro.cot.chain import StressChainPipeline
+
+#: Manifest layout version (bump on layout changes).
+MANIFEST_VERSION: int = 1
+
+#: Archive filename inside each version directory.
+ARTIFACT_NAME = "pipeline.npz"
+
+#: Manifest filename inside each version directory.
+MANIFEST_NAME = "manifest.json"
+
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _natural_key(version: str) -> tuple:
+    """Sort key splitting digit runs, so ``v10`` follows ``v9``."""
+    return tuple(int(part) if part.isdigit() else part
+                 for part in re.split(r"(\d+)", version) if part)
+
+
+class ModelRegistry:
+    """A directory of versioned, integrity-checked pipeline artifacts.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created on first publish).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, version: str, pipeline: StressChainPipeline) -> Path:
+        """Save ``pipeline`` as ``version``; returns the artifact path.
+
+        Versions are immutable: publishing an existing version raises
+        :class:`RegistryError` instead of overwriting files a live
+        replica may currently be serving from.
+        """
+        self._check_version_name(version)
+        directory = self.root / version
+        if (directory / MANIFEST_NAME).exists():
+            raise RegistryError(
+                f"version {version!r} already exists in {self.root}; "
+                "registry versions are immutable -- publish a new version")
+        from repro.model.persistence import file_digest, save_pipeline
+
+        directory.mkdir(parents=True, exist_ok=True)
+        artifact = directory / ARTIFACT_NAME
+        # np.savez appends ".npz" to names missing it, so the staging
+        # name must already end with the suffix for replace() to see
+        # the actual file written.
+        staging = directory / ("staging." + ARTIFACT_NAME)
+        save_pipeline(pipeline, staging)
+        digest = file_digest(staging)
+        staging.replace(artifact)
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "version": version,
+            "artifact": ARTIFACT_NAME,
+            "sha256": digest,
+            "model_fingerprint": pipeline.model.fingerprint(),
+        }
+        manifest_staging = directory / (MANIFEST_NAME + ".tmp")
+        manifest_staging.write_text(json.dumps(manifest, indent=2) + "\n",
+                                    encoding="utf-8")
+        manifest_staging.replace(directory / MANIFEST_NAME)
+        return artifact
+
+    # -- loading -------------------------------------------------------
+
+    def load(self, version: str) -> StressChainPipeline:
+        """Reconstruct the pipeline published as ``version``.
+
+        Raises
+        ------
+        RegistryError
+            Unknown version, unreadable manifest, or an artifact whose
+            bytes no longer match the published digest.
+        """
+        from repro.model.persistence import load_pipeline
+
+        return load_pipeline(self.verified_artifact(version))
+
+    def verified_artifact(self, version: str) -> Path:
+        """The artifact path of ``version`` after an integrity check.
+
+        Fork-process replicas ship this *path* to the child instead of
+        pickling model weights across the pipe; the child re-loads the
+        archive itself.
+        """
+        from repro.model.persistence import file_digest
+
+        manifest = self.manifest(version)
+        artifact = self.root / version / manifest["artifact"]
+        if not artifact.exists():
+            raise RegistryError(
+                f"version {version!r} manifest names a missing artifact "
+                f"{manifest['artifact']!r}")
+        digest = file_digest(artifact)
+        if digest != manifest["sha256"]:
+            raise RegistryError(
+                f"artifact for version {version!r} fails its integrity "
+                f"check (recorded {manifest['sha256'][:12]}..., "
+                f"found {digest[:12]}...); refusing to load")
+        return artifact
+
+    def manifest(self, version: str) -> dict:
+        """The parsed manifest of ``version``."""
+        self._check_version_name(version)
+        path = self.root / version / MANIFEST_NAME
+        if not path.exists():
+            raise RegistryError(
+                f"unknown version {version!r} in registry {self.root} "
+                f"(known: {self.versions() or 'none'})")
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise RegistryError(
+                f"manifest for version {version!r} is unreadable: {exc}"
+            ) from exc
+        if (not isinstance(manifest, dict)
+                or manifest.get("manifest_version") != MANIFEST_VERSION
+                or "sha256" not in manifest or "artifact" not in manifest):
+            raise RegistryError(
+                f"manifest for version {version!r} has an unsupported "
+                "layout; re-publish the version")
+        return manifest
+
+    # -- enumeration ---------------------------------------------------
+
+    def versions(self) -> list[str]:
+        """Published versions in natural order (``v2`` < ``v10``)."""
+        if not self.root.exists():
+            return []
+        found = [
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / MANIFEST_NAME).exists()
+        ]
+        return sorted(found, key=_natural_key)
+
+    def latest(self) -> str | None:
+        """The naturally-last published version, or ``None``."""
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def has(self, version: str) -> bool:
+        return (self.root / version / MANIFEST_NAME).exists()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_version_name(version: str) -> None:
+        if not _VERSION_RE.match(version):
+            raise RegistryError(
+                f"bad version name {version!r}: use letters, digits, "
+                "dots, underscores, and dashes (leading alphanumeric)")

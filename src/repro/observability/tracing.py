@@ -37,13 +37,11 @@ from __future__ import annotations
 
 import atexit
 import json
-import os
 import threading
 import time
 from typing import Any
 
-#: Environment variable naming the JSONL trace output path.
-TRACE_ENV = "REPRO_TRACE"
+from repro.config import TRACE_ENV, env_value
 
 _local = threading.local()
 
@@ -149,7 +147,7 @@ def configure_from_env() -> bool:
     The exporter buffers; an ``atexit`` hook closes it so the trace
     file is complete when the process exits normally.
     """
-    path = os.environ.get(TRACE_ENV)
+    path = env_value(TRACE_ENV)
     if path:
         exporter = JsonlExporter(path)
         install_exporter(exporter)

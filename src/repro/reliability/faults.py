@@ -38,13 +38,13 @@ leading ``seed=N;`` entry seeds the plan (default 0).
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.config import FAULTS_ENV, env_value
 from repro.errors import ConfigError, FaultInjectedError
 from repro.rng import make_rng
 
@@ -259,7 +259,7 @@ def configure_from_env() -> FaultPlan | None:
     ``REPRO_TRACE`` auto-installs the JSONL exporter.  Returns the
     installed plan (or ``None``).
     """
-    spec = os.environ.get("REPRO_FAULTS")
+    spec = env_value(FAULTS_ENV)
     if not spec:
         return None
     plan = FaultPlan.from_spec(spec)

@@ -12,7 +12,10 @@ Public surface:
   :meth:`StressChainPipeline.run_many`);
 - :class:`StageCaches` / :class:`LRUCache` and
   :func:`video_content_hash` -- the content-addressed caches;
-- :class:`ServiceStats` / :class:`ServiceStatsSnapshot`.
+- :class:`ServiceStats` / :class:`ServiceStatsSnapshot`;
+- :class:`ReplicaPool` / :class:`Deployment` /
+  :class:`PoolStatsSnapshot` -- the sharded replica pool with
+  consistent-hash routing and versioned hot-swap deploys.
 """
 
 from repro.serving.batcher import MicroBatcher
@@ -23,6 +26,14 @@ from repro.serving.cache import (
     video_content_hash,
 )
 from repro.serving.executor import ChainBatchExecutor
+from repro.serving.pool import (
+    Deployment,
+    PoolStatsSnapshot,
+    ReplicaPool,
+    clone_pipeline,
+    resolve_pool_backend,
+    resolve_pool_replicas,
+)
 from repro.serving.service import (
     SerialDispatcher,
     ServiceConfig,
@@ -33,13 +44,19 @@ from repro.serving.stats import ServiceStats, ServiceStatsSnapshot
 __all__ = [
     "CacheStats",
     "ChainBatchExecutor",
+    "Deployment",
     "LRUCache",
     "MicroBatcher",
+    "PoolStatsSnapshot",
+    "ReplicaPool",
     "SerialDispatcher",
     "ServiceConfig",
     "ServiceStats",
     "ServiceStatsSnapshot",
     "StageCaches",
     "StressService",
+    "clone_pipeline",
+    "resolve_pool_backend",
+    "resolve_pool_replicas",
     "video_content_hash",
 ]

@@ -86,6 +86,21 @@ class ChainBatchExecutor:
         self.pipeline = pipeline
         self.caches = caches if caches is not None else StageCaches()
 
+    def replace_pipeline(self, pipeline) -> None:
+        """Point the executor at a different pipeline (hot-swap).
+
+        The caller owns synchronization: the service swaps under its
+        swap lock so no batch is mid-execution, and it must also clear
+        the stage caches -- cached stage outputs are only valid for
+        the weights that produced them.
+        """
+        from repro.cot.chain import StressChainPipeline
+
+        if not isinstance(pipeline, StressChainPipeline):
+            raise TypeError(
+                f"expected a StressChainPipeline, got {type(pipeline).__name__}")
+        self.pipeline = pipeline
+
     # ------------------------------------------------------------------
 
     def run_batch(self, videos: list[Video]) -> tuple[list[object], int]:

@@ -126,6 +126,9 @@ class StressService:
             highlight_capacity=self.config.highlight_cache_capacity,
         )
         self.executor = ChainBatchExecutor(pipeline, self.caches)
+        # Held by the worker for the span of each batch's execution;
+        # swap_pipeline() acquires it to wait out the in-flight batch.
+        self._swap_lock = threading.Lock()
         self._stats = ServiceStats()
         self._breaker = (CircuitBreaker(self.config.breaker)
                          if self.config.breaker is not None else None)
@@ -184,6 +187,20 @@ class StressService:
     def queue_depth(self) -> int:
         return self._batcher.queue_depth()
 
+    def swap_pipeline(self, pipeline) -> None:
+        """Hot-swap the served pipeline without dropping requests.
+
+        Blocks until the in-flight batch (if any) finishes, then
+        points the executor at ``pipeline`` and clears the stage
+        caches (cached stage outputs are only valid for the weights
+        that produced them).  Queued requests are untouched -- they
+        simply execute against the new pipeline once the swap
+        completes -- so a deploy fails zero in-flight requests.
+        """
+        with self._swap_lock:
+            self.executor.replace_pipeline(pipeline)
+            self.caches.clear()
+
     @property
     def closed(self) -> bool:
         return self._batcher.closed
@@ -208,15 +225,16 @@ class StressService:
     # ------------------------------------------------------------------
 
     def _process_batch(self, videos: list[Video]) -> list[object]:
-        if self._breaker is not None and not self._breaker.allow():
-            outcomes: list[object] = self._degraded_outcomes(videos)
-            unique = len(videos)
-        else:
-            outcomes, unique = self._execute(videos)
-            if self._breaker is not None:
-                for outcome in outcomes:
-                    self._breaker.record(
-                        not isinstance(outcome, BaseException))
+        with self._swap_lock:
+            if self._breaker is not None and not self._breaker.allow():
+                outcomes: list[object] = self._degraded_outcomes(videos)
+                unique = len(videos)
+            else:
+                outcomes, unique = self._execute(videos)
+                if self._breaker is not None:
+                    for outcome in outcomes:
+                        self._breaker.record(
+                            not isinstance(outcome, BaseException))
         self._stats.record_batch(size=len(videos), unique=unique)
         # Live backlog signal, refreshed once per batch (not per
         # request -- the gauge is a sampling surface, not a counter).

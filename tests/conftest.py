@@ -7,10 +7,10 @@ real trained behaviour without each test paying the training cost.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
+
+from repro.config import settings as repro_settings
 
 try:  # hypothesis is a dev dependency; profiles only matter if present
     from hypothesis import HealthCheck, settings as hypothesis_settings
@@ -27,8 +27,7 @@ try:  # hypothesis is a dev dependency; profiles only matter if present
         "ci", max_examples=150, deadline=None, derandomize=True,
         suppress_health_check=[HealthCheck.too_slow],
     )
-    hypothesis_settings.load_profile(
-        os.environ.get("REPRO_HYPOTHESIS_PROFILE", "fast"))
+    hypothesis_settings.load_profile(repro_settings().hypothesis_profile)
 except ImportError:  # pragma: no cover - hypothesis always in dev env
     pass
 

@@ -1,0 +1,121 @@
+"""The versioned model registry: publish, integrity, natural order."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cot.chain import StressChainPipeline
+from repro.errors import ModelError, RegistryError, ReproError
+from repro.model.foundation import FoundationModel
+from repro.model.registry import (
+    ARTIFACT_NAME,
+    MANIFEST_NAME,
+    ModelRegistry,
+    _natural_key,
+)
+from repro.rng import make_rng
+
+
+@pytest.fixture()
+def pipeline():
+    return StressChainPipeline(FoundationModel(make_rng(11, "registry")))
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_roundtrip_preserves_weights_and_options(self, registry):
+        pipeline = StressChainPipeline(
+            FoundationModel(make_rng(3, "rt")), use_chain=False, seed=9)
+        registry.publish("v1", pipeline)
+        loaded = registry.load("v1")
+        assert loaded.model.fingerprint() == pipeline.model.fingerprint()
+        assert loaded.use_chain is False
+        assert loaded.seed == 9
+
+    def test_versions_are_immutable(self, registry, pipeline):
+        registry.publish("v1", pipeline)
+        with pytest.raises(RegistryError, match="immutable"):
+            registry.publish("v1", pipeline)
+
+    def test_no_staging_files_left_behind(self, registry, pipeline):
+        registry.publish("v1", pipeline)
+        names = {p.name for p in (registry.root / "v1").iterdir()}
+        assert names == {ARTIFACT_NAME, MANIFEST_NAME}
+
+    def test_manifest_records_digest_and_fingerprint(self, registry,
+                                                     pipeline):
+        registry.publish("v1", pipeline)
+        manifest = registry.manifest("v1")
+        assert manifest["version"] == "v1"
+        assert len(manifest["sha256"]) == 64
+        assert manifest["model_fingerprint"] == pipeline.model.fingerprint()
+
+    @pytest.mark.parametrize("bad", ["", ".hidden", "has space", "a/b"])
+    def test_bad_version_names_rejected(self, registry, pipeline, bad):
+        with pytest.raises(RegistryError, match="bad version name"):
+            registry.publish(bad, pipeline)
+
+
+class TestIntegrity:
+    def test_corrupt_artifact_refused(self, registry, pipeline):
+        artifact = registry.publish("v1", pipeline)
+        blob = bytearray(artifact.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        artifact.write_bytes(bytes(blob))
+        with pytest.raises(RegistryError, match="integrity"):
+            registry.load("v1")
+
+    def test_missing_artifact_refused(self, registry, pipeline):
+        artifact = registry.publish("v1", pipeline)
+        artifact.unlink()
+        with pytest.raises(RegistryError, match="missing artifact"):
+            registry.verified_artifact("v1")
+
+    def test_unknown_version(self, registry):
+        with pytest.raises(RegistryError, match="unknown version"):
+            registry.load("nope")
+
+    def test_unreadable_manifest(self, registry, pipeline):
+        registry.publish("v1", pipeline)
+        (registry.root / "v1" / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.manifest("v1")
+
+    def test_unsupported_manifest_layout(self, registry, pipeline):
+        registry.publish("v1", pipeline)
+        (registry.root / "v1" / MANIFEST_NAME).write_text(
+            json.dumps({"manifest_version": 999}))
+        with pytest.raises(RegistryError, match="unsupported"):
+            registry.manifest("v1")
+
+    def test_registry_error_is_a_model_and_repro_error(self):
+        assert issubclass(RegistryError, ModelError)
+        assert issubclass(RegistryError, ReproError)
+
+
+class TestEnumeration:
+    def test_natural_version_order(self, registry, pipeline):
+        for version in ["v10", "v2", "v1"]:
+            registry.publish(version, pipeline)
+        assert registry.versions() == ["v1", "v2", "v10"]
+        assert registry.latest() == "v10"
+
+    def test_natural_key_splits_digit_runs(self):
+        assert sorted(["v10", "v9", "v1.2", "beta"], key=_natural_key) == [
+            "beta", "v1.2", "v9", "v10"]
+
+    def test_empty_registry(self, registry):
+        assert registry.versions() == []
+        assert registry.latest() is None
+        assert not registry.has("v1")
+
+    def test_has(self, registry, pipeline):
+        registry.publish("v1", pipeline)
+        assert registry.has("v1")
+        assert not registry.has("v2")

@@ -141,18 +141,12 @@ def test_sessions_are_per_request(model, pool):
     assert first.session.transcript() == second.session.transcript()
 
 
-def test_run_many_matches_serial(model, pool):
+def test_predict_many_matches_serial(model, pool):
     for variant in VARIANTS:
         pipeline = _make_pipeline(variant, model, pool)
         videos = _videos(4, base_seed=80)
         serial = [pipeline.predict(video) for video in videos]
-        batched = pipeline.run_many(videos, batch_size=3)
+        batched = pipeline.predict_many(videos, batch_size=3)
         assert len(batched) == len(serial)
         for want, got in zip(serial, batched):
             assert_results_identical(got, want, variant)
-
-
-def test_run_alias(model, pool):
-    pipeline = _make_pipeline("chain", model, pool)
-    video = _videos(1, base_seed=90)[0]
-    assert_results_identical(pipeline.run(video), pipeline.predict(video))

@@ -285,13 +285,13 @@ class TestStressService:
             stats = svc.stats()
         assert stats.cache["describe"].hits == 0
 
-    def test_run_many_reuses_service_caches(self, pipeline):
+    def test_predict_many_reuses_service_caches(self, pipeline):
         videos = [_video("rm-a", 61), _video("rm-b", 62)]
         serial = [pipeline.predict(v) for v in videos]
         with StressService(pipeline) as svc:
             for video in videos:
                 svc.predict(video, timeout=30)
-            results = pipeline.run_many(videos * 2, caches=svc.caches)
+            results = pipeline.predict_many(videos * 2, caches=svc.caches)
         for want, got in zip(serial * 2, results):
             assert got.prob_stressed == want.prob_stressed
             assert got.session.transcript() == want.session.transcript()
