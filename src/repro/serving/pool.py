@@ -319,7 +319,10 @@ class _ProcessReplica:
 
     def _process_batch(self, videos: list[Video]) -> list[object]:
         if self._breaker is not None and not self._breaker.allow():
-            # No parent-side caches to degrade onto: fail fast.
+            # No parent-side caches to degrade onto: fail fast -- but
+            # the shed batch still counts in this replica's stats,
+            # matching StressService._process_batch's breaker path.
+            self._stats.record_batch(size=len(videos), unique=len(videos))
             return [CircuitOpenError(
                 "replica circuit breaker is open; retry after its "
                 "open window")] * len(videos)
@@ -439,7 +442,7 @@ class ReplicaPool:
         self._routed_lock = threading.Lock()
         self._deploy_lock = threading.Lock()
         self._closed = False
-        initial = self._initial_payload(pipeline, registry, version)
+        initial = self._initial_payload(registry, version)
         replica_cls = (_ThreadReplica if self.backend == "thread"
                        else _ProcessReplica)
         self._replicas: list[_ThreadReplica | _ProcessReplica] = []
@@ -447,7 +450,14 @@ class ReplicaPool:
             source = (pipeline if self.backend == "process"
                       or index == 0 else clone_pipeline(pipeline))
             replica = replica_cls(index, source, self.config)
-            replica.payload = initial
+            if initial is not None:
+                replica.payload = initial
+            # Without a versioned artifact the replica keeps the
+            # ("pipeline", ...) payload its constructor captured: its
+            # OWN copy.  One shared payload here would make a later
+            # rollback install the same mutable pipeline into every
+            # thread replica -- exactly the forward-state race
+            # clone_pipeline() exists to prevent.
             self._replicas.append(replica)
         metrics = global_metrics()
         metrics.gauge("pool.replicas").set(self.num_replicas)
@@ -470,10 +480,13 @@ class ReplicaPool:
         return cls(pipeline, registry=registry, version=version, **kwargs)
 
     @staticmethod
-    def _initial_payload(pipeline, registry, version):
+    def _initial_payload(registry, version):
+        """The shared versioned-artifact payload, or ``None`` for a
+        bare-pipeline pool (each replica then keeps its per-replica
+        pipeline payload)."""
         if registry is not None and version is not None:
             return ("path", registry.verified_artifact(version), version)
-        return ("pipeline", pipeline, None)
+        return None
 
     # -- the hot path --------------------------------------------------
 
@@ -539,9 +552,12 @@ class ReplicaPool:
         :meth:`Deployment.promote` checks the canaries' circuit
         breakers and either rolls the rest of the pool forward or
         rolls the canaries back (raising
-        :class:`~repro.errors.DeploymentError`).  Each replica drains
-        its in-flight batch before its weights change, so zero
-        in-flight requests fail during a swap.
+        :class:`~repro.errors.DeploymentError`).  When the computed
+        canary set covers every replica (e.g. any fraction on a
+        one-replica pool), the deployment completes immediately and a
+        subsequent :meth:`Deployment.promote` is a no-op.  Each
+        replica drains its in-flight batch before its weights change,
+        so zero in-flight requests fail during a swap.
         """
         registry = registry if registry is not None else self.registry
         if registry is None:
@@ -627,7 +643,16 @@ class Deployment:
     def promote(self) -> None:
         """Roll the remaining replicas forward -- unless a canary's
         breaker tripped, in which case the canaries are rolled back
-        and :class:`~repro.errors.DeploymentError` is raised."""
+        and :class:`~repro.errors.DeploymentError` is raised.
+
+        A no-op on an already-``"complete"`` deployment: ``deploy()``
+        auto-completes when the canary set covers the whole pool (for
+        example, any fraction on a one-replica pool), and an
+        unconditional ``promote()`` after that is not an error.
+        Promoting a rolled-back deployment still raises.
+        """
+        if self.state == "complete":
+            return
         if self.state != "canary":
             raise DeploymentError(
                 f"deployment of {self.version!r} is {self.state}; only a "

@@ -26,6 +26,7 @@ import pytest
 
 from repro.cot.chain import ChainResult, StressChainPipeline
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
     DeploymentError,
     PoolError,
@@ -315,11 +316,34 @@ class TestDeploy:
             assert set(pool.fingerprints()) == {v1}
             assert pool.version == "v1"
 
-    def test_promote_twice_is_an_error(self, registry):
+    def test_promote_on_complete_deployment_is_a_noop(self, registry):
+        """A full deploy auto-completes; an unconditional promote()
+        after it must not raise (nothing failed)."""
         with ReplicaPool.from_registry(registry, "v1",
                                        num_replicas=2) as pool:
             deployment = pool.deploy("v2")
-            with pytest.raises(DeploymentError, match="complete"):
+            assert deployment.state == "complete"
+            deployment.promote()
+            assert deployment.state == "complete"
+            assert pool.version == "v2"
+
+    def test_canary_covering_whole_pool_auto_completes(self, registry):
+        """Any canary fraction on a one-replica pool covers the pool:
+        the deployment completes immediately and promote() is a
+        harmless no-op."""
+        with ReplicaPool.from_registry(registry, "v1",
+                                       num_replicas=1) as pool:
+            deployment = pool.deploy("v2", canary_fraction=0.5)
+            assert deployment.state == "complete"
+            deployment.promote()
+            assert pool.version == "v2"
+
+    def test_promote_after_rollback_raises(self, registry):
+        with ReplicaPool.from_registry(registry, "v1",
+                                       num_replicas=4) as pool:
+            deployment = pool.deploy("v2", canary_fraction=0.5)
+            deployment.rollback()
+            with pytest.raises(DeploymentError, match="rolled_back"):
                 deployment.promote()
 
     def test_explicit_rollback_restores_previous(self, registry):
@@ -330,6 +354,24 @@ class TestDeploy:
             deployment.rollback()
             assert set(pool.fingerprints()) == {v1}
             assert pool.version == "v1"
+
+    def test_rollback_keeps_thread_replica_pipelines_distinct(self, registry):
+        """A thread pool seeded from a bare pipeline rolls each replica
+        back to its OWN clone.  A shared payload would install one
+        mutable pipeline into every replica, and the concurrent workers
+        would then race on its forward/feature cache."""
+        with ReplicaPool(_pipeline(), num_replicas=3, backend="thread",
+                         registry=registry) as pool:
+            before = [id(r.service.pipeline) for r in pool._replicas]
+            assert len(set(before)) == 3
+            deployment = pool.deploy("v2")
+            deployment.rollback()
+            after = [id(r.service.pipeline) for r in pool._replicas]
+            assert after == before
+            # And the restored pool still computes correct results.
+            video = _videos(1)[0]
+            _assert_same_result(pool.predict(video, timeout=30),
+                                _pipeline().predict(video))
 
     @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
     def test_process_pool_deploy_and_rollback(self, registry):
@@ -343,6 +385,26 @@ class TestDeploy:
             assert isinstance(pool.predict(video, timeout=60), ChainResult)
             deployment.rollback()
             assert set(pool.fingerprints()) == {v1}
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+    def test_process_replica_counts_breaker_shed_batches(self):
+        """Batches failed fast on an open breaker still show up in the
+        replica's stats snapshot, matching the thread path."""
+        from repro.reliability.breaker import BreakerConfig
+        from repro.serving.pool import _ProcessReplica
+
+        replica = _ProcessReplica(0, _pipeline(),
+                                  ServiceConfig(breaker=BreakerConfig()))
+        try:
+            for __ in range(replica.breaker.config.window):
+                replica.breaker.record(False)
+            outcomes = replica._process_batch(_videos(3))
+            assert all(isinstance(o, CircuitOpenError) for o in outcomes)
+            snapshot = replica.stats()
+            assert snapshot.batches == 1
+            assert snapshot.mean_batch_occupancy == 3.0
+        finally:
+            replica.close()
 
     def test_deploy_needs_a_registry(self):
         with ReplicaPool(_pipeline(), num_replicas=1) as pool:
